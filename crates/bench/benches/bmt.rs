@@ -1,0 +1,64 @@
+//! Microbenchmarks for the Bonsai Merkle Tree: leaf updates (the
+//! per-persist functional work), LCA computation (the coalescing
+//! primitive) and tree rebuilds (the recovery path).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use plp_bmt::{BmtGeometry, BonsaiTree};
+use plp_crypto::{CounterBlock, SipKey};
+use std::hint::black_box;
+
+fn bench_update_leaf(c: &mut Criterion) {
+    let g = BmtGeometry::new(8, 9); // the paper's default shape
+    c.bench_function("bmt/update-leaf-9-levels", |b| {
+        let mut tree = BonsaiTree::new(g, SipKey::new(1, 2));
+        let mut cb = CounterBlock::new();
+        let mut page = 0u64;
+        b.iter(|| {
+            page = (page + 1) % 4096;
+            cb.bump((page % 64) as usize);
+            black_box(tree.update_leaf(page, &cb))
+        })
+    });
+}
+
+fn bench_lca(c: &mut Criterion) {
+    let g = BmtGeometry::new(8, 9);
+    let a = g.leaf(12_345);
+    let far = g.leaf(9_999_999);
+    let near = g.leaf(12_346);
+    c.bench_function("bmt/lca-far", |b| {
+        b.iter(|| black_box(g.lca(black_box(a), black_box(far))))
+    });
+    c.bench_function("bmt/lca-near", |b| {
+        b.iter(|| black_box(g.lca(black_box(a), black_box(near))))
+    });
+}
+
+fn bench_rebuild(c: &mut Criterion) {
+    let g = BmtGeometry::new(8, 9);
+    let key = SipKey::new(1, 2);
+    // 256 pages of persisted counters — a typical recovery working set.
+    let counters: Vec<(u64, CounterBlock)> = (0..256u64)
+        .map(|p| {
+            let mut cb = CounterBlock::new();
+            cb.bump((p % 64) as usize);
+            (p, cb)
+        })
+        .collect();
+    c.bench_function("bmt/rebuild-256-pages", |b| {
+        b.iter_batched(
+            || counters.clone(),
+            |cs| {
+                black_box(BonsaiTree::from_counters(
+                    g,
+                    key,
+                    cs.iter().map(|(p, c)| (*p, c)),
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_update_leaf, bench_lca, bench_rebuild);
+criterion_main!(benches);

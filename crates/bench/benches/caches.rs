@@ -1,0 +1,66 @@
+//! Cache and NVM model microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use plp_cache::{Cache, CacheConfig, Hierarchy, WriteMode};
+use plp_events::{addr::BlockAddr, Cycle};
+use plp_nvm::{NvmConfig, NvmDevice};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/lookup-hit", |b| {
+        let mut cache = Cache::new(CacheConfig::new(128 << 10, 8));
+        for i in 0..1024 {
+            cache.fill(BlockAddr::new(i), false);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            black_box(cache.lookup(BlockAddr::new(i), false))
+        })
+    });
+    c.bench_function("cache/fill-evict", |b| {
+        let mut cache = Cache::new(CacheConfig::new(64 * 16, 2));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.fill(BlockAddr::new(i), true))
+        })
+    });
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    c.bench_function("hierarchy/store-stream", |b| {
+        b.iter_batched(
+            || Hierarchy::paper_default(4 << 20),
+            |mut h| {
+                for i in 0..512u64 {
+                    black_box(h.store(BlockAddr::new(i * 7 % 2048), WriteMode::WriteBack));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_nvm(c: &mut Criterion) {
+    c.bench_function("nvm/read-write-mix", |b| {
+        b.iter_batched(
+            || NvmDevice::new(NvmConfig::paper_default()),
+            |mut d| {
+                let mut t = Cycle::ZERO;
+                for i in 0..256u64 {
+                    if i % 3 == 0 {
+                        t = t.max(d.read(Cycle::new(i * 10), BlockAddr::new(i)));
+                    } else {
+                        t = t.max(d.write(Cycle::new(i * 10), BlockAddr::new(i)));
+                    }
+                }
+                black_box(t)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_cache, bench_hierarchy, bench_nvm);
+criterion_main!(benches);

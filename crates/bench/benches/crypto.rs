@@ -1,0 +1,59 @@
+//! Microbenchmarks for the functional crypto layer: the SipHash PRF,
+//! counter-mode encryption, stateful MACs and split-counter updates.
+//! These bound the *simulator's* own speed (the modelled hardware
+//! latency is a separate, configured quantity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plp_crypto::{CounterBlock, CounterValue, CtrEngine, DataBlock, MacEngine, SipKey};
+use plp_events::addr::BlockAddr;
+use std::hint::black_box;
+
+fn bench_siphash(c: &mut Criterion) {
+    let key = SipKey::new(1, 2);
+    let data = [0xa5u8; 64];
+    c.bench_function("siphash/64B-bytes", |b| {
+        b.iter(|| black_box(key.hash_bytes(black_box(&data))))
+    });
+    let words = [7u64; 9];
+    c.bench_function("siphash/9-words", |b| {
+        b.iter(|| black_box(key.hash_words(black_box(&words))))
+    });
+}
+
+fn bench_ctr(c: &mut Criterion) {
+    let engine = CtrEngine::new(SipKey::new(3, 4));
+    let plain = DataBlock::from_u64(42);
+    let addr = BlockAddr::new(1000);
+    let ctr = CounterValue::new(5, 6);
+    c.bench_function("ctr/encrypt-64B", |b| {
+        b.iter(|| black_box(engine.encrypt(black_box(plain), addr, ctr)))
+    });
+}
+
+fn bench_mac(c: &mut Criterion) {
+    let engine = MacEngine::new(SipKey::new(3, 4));
+    let cipher = DataBlock::from_u64(42);
+    let addr = BlockAddr::new(1000);
+    let ctr = CounterValue::new(5, 6);
+    c.bench_function("mac/compute-64B", |b| {
+        b.iter(|| black_box(engine.compute(black_box(&cipher), addr, ctr)))
+    });
+    let tag = engine.compute(&cipher, addr, ctr);
+    c.bench_function("mac/verify-64B", |b| {
+        b.iter(|| black_box(engine.verify(black_box(&cipher), addr, ctr, tag)))
+    });
+}
+
+fn bench_counters(c: &mut Criterion) {
+    c.bench_function("counter/bump", |b| {
+        let mut cb = CounterBlock::new();
+        let mut slot = 0usize;
+        b.iter(|| {
+            slot = (slot + 1) % 64;
+            black_box(cb.bump(slot))
+        })
+    });
+}
+
+criterion_group!(benches, bench_siphash, bench_ctr, bench_mac, bench_counters);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Whole-system simulation throughput: how many simulated instructions
+//! per host second each scheme's model sustains, plus trace
+//! generation. These are the numbers that size the harness run times.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use plp_core::{SystemConfig, SystemSim, UpdateScheme};
+use plp_trace::{spec, TraceGenerator};
+use std::hint::black_box;
+
+const INSTRUCTIONS: u64 = 20_000;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let profile = spec::benchmark("gcc").unwrap();
+    c.bench_function("system/trace-gen-20k-instr", |b| {
+        b.iter_batched(
+            || TraceGenerator::new(profile.clone(), 1),
+            |mut g| black_box(g.generate(INSTRUCTIONS)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let profile = spec::benchmark("gcc").unwrap();
+    let trace = TraceGenerator::new(profile.clone(), 1).generate(INSTRUCTIONS);
+    for scheme in [
+        UpdateScheme::SecureWb,
+        UpdateScheme::Sp,
+        UpdateScheme::Pipeline,
+        UpdateScheme::O3,
+        UpdateScheme::Coalescing,
+    ] {
+        c.bench_function(&format!("system/run-20k-{}", scheme.name()), |b| {
+            b.iter_batched(
+                || SystemSim::with_base_ipc(SystemConfig::for_scheme(scheme), profile.base_ipc),
+                |mut sim| black_box(sim.run(&trace)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group!(benches, bench_trace_generation, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! Shared support for the experiment harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` §4 for the experiment index). This library
+//! holds the common machinery: run settings, result caching across
+//! schemes, table formatting and geometric means.
+
+use plp_core::{run_benchmark, RunReport, SystemConfig, UpdateScheme};
+use plp_events::stats::geometric_mean;
+use plp_trace::{spec, WorkloadProfile};
+
+/// Harness-wide run settings, parsed from the command line.
+///
+/// Every experiment binary accepts `[instructions] [seed]` positional
+/// arguments; the defaults (400k instructions, seed 7) regenerate the
+/// numbers quoted in `EXPERIMENTS.md` in a couple of minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSettings {
+    /// Instructions per benchmark run.
+    pub instructions: u64,
+    /// Trace-generation seed.
+    pub seed: u64,
+}
+
+impl Default for RunSettings {
+    fn default() -> Self {
+        RunSettings {
+            instructions: 400_000,
+            seed: 7,
+        }
+    }
+}
+
+impl RunSettings {
+    /// Parses `[instructions] [seed]` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut s = RunSettings::default();
+        let mut args = std::env::args().skip(1);
+        if let Some(n) = args.next().and_then(|a| a.parse().ok()) {
+            s.instructions = n;
+        }
+        if let Some(n) = args.next().and_then(|a| a.parse().ok()) {
+            s.seed = n;
+        }
+        s
+    }
+}
+
+/// Runs one benchmark under one configuration.
+pub fn run(profile: &WorkloadProfile, config: &SystemConfig, settings: RunSettings) -> RunReport {
+    run_benchmark(profile, config, settings.instructions, settings.seed)
+}
+
+/// Runs every SPEC benchmark under `make_config`, returning
+/// `(profile, report)` pairs in the paper's benchmark order.
+pub fn run_all(
+    settings: RunSettings,
+    make_config: impl Fn(&WorkloadProfile) -> SystemConfig,
+) -> Vec<(WorkloadProfile, RunReport)> {
+    spec::all_benchmarks()
+        .into_iter()
+        .map(|p| {
+            let config = make_config(&p);
+            let report = run(&p, &config, settings);
+            (p, report)
+        })
+        .collect()
+}
+
+/// A results table: one row per benchmark, one column per series,
+/// with an automatic geometric-mean footer — the shape of every figure
+/// in the paper's evaluation.
+#[derive(Debug, Clone)]
+pub struct SeriesTable {
+    row_header: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+    precision: usize,
+}
+
+impl SeriesTable {
+    /// Creates a table with the given row-header label and column
+    /// names.
+    pub fn new(row_header: &str, columns: &[&str]) -> Self {
+        SeriesTable {
+            row_header: row_header.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            precision: 2,
+        }
+    }
+
+    /// Sets how many decimals values print with.
+    pub fn precision(mut self, digits: usize) -> Self {
+        self.precision = digits;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push(&mut self, name: &str, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push((name.to_string(), values));
+    }
+
+    /// Geometric mean of one column across all rows, if well defined.
+    pub fn column_gmean(&self, col: usize) -> Option<f64> {
+        let values: Vec<f64> = self.rows.iter().map(|(_, v)| v[col]).collect();
+        geometric_mean(&values)
+    }
+
+    /// Renders the table, gmean footer included.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<11}", self.row_header));
+        for c in &self.columns {
+            out.push_str(&format!(" {:>9}", c));
+        }
+        out.push('\n');
+        for (name, values) in &self.rows {
+            out.push_str(&format!("{:<11}", name));
+            for v in values {
+                out.push_str(&format!(" {:>9.*}", self.precision, v));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<11}", "gmean"));
+        for col in 0..self.columns.len() {
+            match self.column_gmean(col) {
+                Some(g) => out.push_str(&format!(" {:>9.*}", self.precision, g)),
+                None => out.push_str(&format!(" {:>9}", "-")),
+            }
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Prints a standard experiment banner.
+pub fn banner(id: &str, what: &str, settings: RunSettings) {
+    println!("== {id}: {what}");
+    println!(
+        "   ({} instructions per benchmark, seed {})",
+        settings.instructions, settings.seed
+    );
+    println!();
+}
+
+/// The four strict-persistency-comparison schemes of Fig. 8.
+pub const FIG8_SCHEMES: [UpdateScheme; 3] = [
+    UpdateScheme::Unordered,
+    UpdateScheme::Sp,
+    UpdateScheme::Pipeline,
+];
+
+/// The epoch-persistency schemes of Fig. 10.
+pub const FIG10_SCHEMES: [UpdateScheme; 2] = [UpdateScheme::O3, UpdateScheme::Coalescing];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settings_defaults() {
+        let s = RunSettings::default();
+        assert_eq!(s.instructions, 400_000);
+        assert_eq!(s.seed, 7);
+    }
+
+    #[test]
+    fn table_renders_with_gmean() {
+        let mut t = SeriesTable::new("bench", &["a", "b"]);
+        t.push("x", vec![1.0, 4.0]);
+        t.push("y", vec![4.0, 1.0]);
+        let s = t.render();
+        assert!(s.contains("bench"));
+        assert!(s.contains("gmean"));
+        assert!((t.column_gmean(0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = SeriesTable::new("bench", &["a", "b"]);
+        t.push("x", vec![1.0]);
+    }
+
+    #[test]
+    fn run_all_covers_every_benchmark() {
+        let settings = RunSettings {
+            instructions: 2_000,
+            seed: 1,
+        };
+        let results = run_all(settings, |_| {
+            SystemConfig::for_scheme(UpdateScheme::SecureWb)
+        });
+        assert_eq!(results.len(), 15);
+        assert!(results.iter().all(|(_, r)| r.instructions >= 2_000));
+    }
+}

@@ -1,0 +1,278 @@
+//! Node labelling, ancestry and least-common-ancestor computation.
+//!
+//! The paper adopts the labelling scheme of Gassend et al. (§V-C): the
+//! root is label 0 and the parent of node `n` is `(n - 1) / arity`. The
+//! LCA of two leaves is found from the longest common suffix of their
+//! update paths — equivalently, by lifting both labels to the same
+//! level and walking up in lock-step.
+
+use serde::{Deserialize, Serialize};
+
+use crate::BmtGeometry;
+
+/// A node's label in the breadth-first numbering of the tree (root = 0).
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeLabel(u64);
+
+impl NodeLabel {
+    /// The root's label.
+    pub const ROOT: NodeLabel = NodeLabel(0);
+
+    /// Creates a label from its raw numbering.
+    pub const fn new(raw: u64) -> Self {
+        NodeLabel(raw)
+    }
+
+    /// The raw numbering.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the root.
+    pub const fn is_root(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for NodeLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl BmtGeometry {
+    /// The parent of `node`; `None` for the root.
+    pub fn parent(&self, node: NodeLabel) -> Option<NodeLabel> {
+        if node.is_root() {
+            None
+        } else {
+            Some(NodeLabel((node.raw() - 1) / self.arity()))
+        }
+    }
+
+    /// The `i`-th child of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= arity` or the child would be below the leaf
+    /// level.
+    pub fn child(&self, node: NodeLabel, i: u64) -> NodeLabel {
+        assert!(i < self.arity(), "child index {i} out of arity");
+        let child = NodeLabel(node.raw() * self.arity() + 1 + i);
+        assert!(
+            self.level(child) <= self.levels(),
+            "child below leaf level"
+        );
+        child
+    }
+
+    /// The 1-based level of `node` (root = 1, leaves = `levels`).
+    pub fn level(&self, node: NodeLabel) -> u32 {
+        let mut level = 1;
+        let mut first_next = 1; // first label of level 2
+        let mut width = self.arity();
+        while node.raw() >= first_next {
+            first_next += width;
+            width *= self.arity();
+            level += 1;
+        }
+        level
+    }
+
+    /// The leaf label covering page `page_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_index` is outside the tree.
+    pub fn leaf(&self, page_index: u64) -> NodeLabel {
+        assert!(
+            page_index < self.leaf_count(),
+            "page {page_index} outside tree coverage"
+        );
+        NodeLabel(self.level_offset(self.levels()) + page_index)
+    }
+
+    /// The page index covered by a leaf label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is not at the leaf level.
+    pub fn page_of_leaf(&self, leaf: NodeLabel) -> u64 {
+        let offset = self.level_offset(self.levels());
+        assert!(
+            leaf.raw() >= offset && leaf.raw() < offset + self.leaf_count(),
+            "{leaf} is not a leaf"
+        );
+        leaf.raw() - offset
+    }
+
+    /// The update path from `leaf` to the root, inclusive, ordered
+    /// leaf-first (the order persists walk the tree in).
+    pub fn update_path(&self, leaf: NodeLabel) -> Vec<NodeLabel> {
+        let mut path = Vec::with_capacity(self.levels() as usize);
+        let mut node = leaf;
+        path.push(node);
+        while let Some(p) = self.parent(node) {
+            path.push(p);
+            node = p;
+        }
+        path
+    }
+
+    /// All strict ancestors of `node`, nearest first, ending at the
+    /// root.
+    pub fn ancestors(&self, node: NodeLabel) -> Vec<NodeLabel> {
+        let mut out = Vec::new();
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// The least common ancestor of two nodes (§IV-B2: the coalescing
+    /// point of two persists). The LCA of a node with itself is itself.
+    pub fn lca(&self, a: NodeLabel, b: NodeLabel) -> NodeLabel {
+        let (mut a, mut b) = (a, b);
+        let (mut la, mut lb) = (self.level(a), self.level(b));
+        while la > lb {
+            a = self.parent(a).expect("non-root has parent");
+            la -= 1;
+        }
+        while lb > la {
+            b = self.parent(b).expect("non-root has parent");
+            lb -= 1;
+        }
+        while a != b {
+            a = self.parent(a).expect("lock-step walk reaches root");
+            b = self.parent(b).expect("lock-step walk reaches root");
+        }
+        a
+    }
+
+    /// Number of update-path node updates *saved* when persists to `a`
+    /// and `b` coalesce at their LCA: the shared suffix — LCA through
+    /// root — is walked once instead of twice (Fig. 5: δ1/δ2 coalescing
+    /// at X31 turns 8 node updates into 5, saving the 3 shared nodes).
+    pub fn coalesced_savings(&self, a: NodeLabel, b: NodeLabel) -> u32 {
+        let lca = self.lca(a, b);
+        // The shared suffix spans levels 1..=level(LCA).
+        self.level(lca)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> BmtGeometry {
+        // Fig. 1's shape: 8-ary, 4 levels (X1 root .. X4 leaves).
+        BmtGeometry::new(8, 4)
+    }
+
+    #[test]
+    fn parent_child_inverse() {
+        let g = g();
+        let n = NodeLabel::new(3);
+        for i in 0..8 {
+            let c = g.child(n, i);
+            assert_eq!(g.parent(c), Some(n));
+        }
+        assert_eq!(g.parent(NodeLabel::ROOT), None);
+    }
+
+    #[test]
+    fn levels_match_fig1() {
+        let g = g();
+        assert_eq!(g.level(NodeLabel::ROOT), 1);
+        assert_eq!(g.level(NodeLabel::new(1)), 2);
+        assert_eq!(g.level(NodeLabel::new(8)), 2);
+        assert_eq!(g.level(NodeLabel::new(9)), 3);
+        assert_eq!(g.level(g.leaf(0)), 4);
+        assert_eq!(g.level(g.leaf(511)), 4);
+    }
+
+    #[test]
+    fn fig1_update_paths_intersect_at_root_only() {
+        // Persist δ1 updates leaf X4-1 (page 0); δ2 updates X4-512
+        // (page 511). Their paths share only the root.
+        let g = g();
+        let p1 = g.update_path(g.leaf(0));
+        let p2 = g.update_path(g.leaf(511));
+        assert_eq!(p1.len(), 4);
+        assert_eq!(p2.len(), 4);
+        let shared: Vec<_> = p1.iter().filter(|n| p2.contains(n)).collect();
+        assert_eq!(shared, vec![&NodeLabel::ROOT]);
+        assert_eq!(g.lca(g.leaf(0), g.leaf(511)), NodeLabel::ROOT);
+    }
+
+    #[test]
+    fn fig1_nearby_leaves_share_lower_lca() {
+        // The paper's example: a persist at X4-2 (page 1) and δ2 at
+        // X4-512 share X3-1... actually page 1 shares its level-3
+        // ancestor with page 0, not page 511. Check the text's example:
+        // X4-2 and leaf X4-1 share the level-3 node.
+        let g = g();
+        let lca = g.lca(g.leaf(0), g.leaf(1));
+        assert_eq!(g.level(lca), 3);
+        // Pages in the same 64-page group share a level-2 ancestor.
+        let lca2 = g.lca(g.leaf(0), g.leaf(63));
+        assert_eq!(g.level(lca2), 2);
+    }
+
+    #[test]
+    fn lca_of_self_is_self() {
+        let g = g();
+        let n = g.leaf(17);
+        assert_eq!(g.lca(n, n), n);
+    }
+
+    #[test]
+    fn lca_with_ancestor_is_ancestor() {
+        let g = g();
+        let leaf = g.leaf(100);
+        let anc = g.ancestors(leaf)[1];
+        assert_eq!(g.lca(leaf, anc), anc);
+        assert_eq!(g.lca(anc, leaf), anc);
+    }
+
+    #[test]
+    fn leaf_page_round_trip() {
+        let g = g();
+        for page in [0u64, 1, 63, 511] {
+            assert_eq!(g.page_of_leaf(g.leaf(page)), page);
+        }
+    }
+
+    #[test]
+    fn ancestors_end_at_root() {
+        let g = g();
+        let a = g.ancestors(g.leaf(5));
+        assert_eq!(a.len(), 3);
+        assert_eq!(*a.last().unwrap(), NodeLabel::ROOT);
+    }
+
+    #[test]
+    fn coalesced_savings_counts_shared_suffix() {
+        let g = g();
+        // LCA at level 3 -> shared suffix {X3, X2, X1} walked once: 3
+        // node updates saved (Fig. 5's δ1/δ2 pair).
+        assert_eq!(g.coalesced_savings(g.leaf(0), g.leaf(1)), 3);
+        // LCA at root -> only the root update is saved.
+        assert_eq!(g.coalesced_savings(g.leaf(0), g.leaf(511)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside tree")]
+    fn leaf_bounds_checked() {
+        let _ = g().leaf(512);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeLabel::new(7).to_string(), "n7");
+    }
+}

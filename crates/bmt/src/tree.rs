@@ -1,0 +1,358 @@
+//! The sparse functional Bonsai Merkle Tree.
+//!
+//! The tree covers one counter block per leaf (one 4 KiB encryption
+//! page). Only nodes that differ from the all-fresh-counters state are
+//! stored; every level has a memoized *default* value, so an 8-ary,
+//! 9-level tree (16.7M leaves) costs memory proportional only to the
+//! touched working set.
+//!
+//! This is the *functional* half of the BMT: it answers "what is the
+//! root after these counter updates" and "is this tree internally
+//! consistent". The *timing* half (who updates which node when, and in
+//! what order) lives in the engine models of `plp-core`.
+
+use std::collections::HashMap;
+
+use plp_crypto::{CounterBlock, SipKey};
+use serde::{Deserialize, Serialize};
+
+use crate::{BmtGeometry, NodeLabel};
+
+/// An 8-byte BMT node value ("64B to 8B hash", Fig. 1).
+pub type NodeValue = u64;
+
+/// A sparse, keyed Bonsai Merkle Tree over counter blocks.
+///
+/// # Example
+///
+/// ```
+/// use plp_bmt::{BmtGeometry, BonsaiTree};
+/// use plp_crypto::{CounterBlock, SipKey};
+///
+/// let geometry = BmtGeometry::new(8, 4);
+/// let mut tree = BonsaiTree::new(geometry, SipKey::new(1, 2));
+/// let root_before = tree.root();
+///
+/// let mut cb = CounterBlock::new();
+/// cb.bump(0);
+/// let path = tree.update_leaf(5, &cb);
+/// assert_eq!(path.len(), 4); // leaf, two internals, root
+/// assert_ne!(tree.root(), root_before);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BonsaiTree {
+    geometry: BmtGeometry,
+    key: SipKey,
+    nodes: HashMap<NodeLabel, NodeValue>,
+    /// Default node value per 1-based level (index `level - 1`).
+    defaults: Vec<NodeValue>,
+}
+
+impl BonsaiTree {
+    /// Creates the all-fresh tree (every page's counter block new).
+    pub fn new(geometry: BmtGeometry, master_key: SipKey) -> Self {
+        let key = master_key.derive("bmt");
+        let mut defaults = vec![0; geometry.levels() as usize];
+        let fresh = CounterBlock::new();
+        defaults[geometry.levels() as usize - 1] = Self::leaf_value_with(key, &fresh);
+        for level in (1..geometry.levels()).rev() {
+            let child_default = defaults[level as usize];
+            let children = vec![child_default; geometry.arity() as usize];
+            defaults[level as usize - 1] = Self::internal_value_with(key, &children);
+        }
+        BonsaiTree {
+            geometry,
+            key,
+            nodes: HashMap::new(),
+            defaults,
+        }
+    }
+
+    /// Rebuilds a tree from a set of persisted counter blocks — the
+    /// crash-recovery path ("recovering from a crash requires
+    /// recomputing the BMT root", §III).
+    pub fn from_counters<'a>(
+        geometry: BmtGeometry,
+        master_key: SipKey,
+        counters: impl IntoIterator<Item = (u64, &'a CounterBlock)>,
+    ) -> Self {
+        let mut tree = BonsaiTree::new(geometry, master_key);
+        for (page, cb) in counters {
+            tree.update_leaf(page, cb);
+        }
+        tree
+    }
+
+    /// The tree geometry.
+    pub fn geometry(&self) -> BmtGeometry {
+        self.geometry
+    }
+
+    /// The current root value.
+    pub fn root(&self) -> NodeValue {
+        self.node_value(NodeLabel::ROOT)
+    }
+
+    /// The value of any node (stored or default).
+    pub fn node_value(&self, label: NodeLabel) -> NodeValue {
+        if let Some(&v) = self.nodes.get(&label) {
+            return v;
+        }
+        self.defaults[self.geometry.level(label) as usize - 1]
+    }
+
+    /// Number of explicitly stored (non-default) nodes.
+    pub fn populated_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn leaf_value_with(key: SipKey, cb: &CounterBlock) -> NodeValue {
+        key.hash_words(&cb.content_words())
+    }
+
+    fn internal_value_with(key: SipKey, children: &[NodeValue]) -> NodeValue {
+        key.hash_words(children)
+    }
+
+    /// The leaf hash for a counter block under this tree's key.
+    pub fn leaf_value(&self, cb: &CounterBlock) -> NodeValue {
+        Self::leaf_value_with(self.key, cb)
+    }
+
+    fn recompute_internal(&self, label: NodeLabel) -> NodeValue {
+        let children: Vec<NodeValue> = (0..self.geometry.arity())
+            .map(|i| self.node_value(self.geometry.child(label, i)))
+            .collect();
+        Self::internal_value_with(self.key, &children)
+    }
+
+    /// Applies a counter-block update at `page`, recomputing the leaf
+    /// and every ancestor up to the root.
+    ///
+    /// Returns the update path as `(label, new_value)` pairs ordered
+    /// leaf-first — exactly the per-level work the timing engines
+    /// schedule (one MAC computation per entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the tree's coverage.
+    pub fn update_leaf(&mut self, page: u64, cb: &CounterBlock) -> Vec<(NodeLabel, NodeValue)> {
+        let leaf = self.geometry.leaf(page);
+        let mut path = Vec::with_capacity(self.geometry.levels() as usize);
+        let leaf_val = self.leaf_value(cb);
+        self.nodes.insert(leaf, leaf_val);
+        path.push((leaf, leaf_val));
+        let mut cur = leaf;
+        while let Some(parent) = self.geometry.parent(cur) {
+            let val = self.recompute_internal(parent);
+            self.nodes.insert(parent, val);
+            path.push((parent, val));
+            cur = parent;
+        }
+        path
+    }
+
+    /// Overwrites a single node value without updating ancestors.
+    ///
+    /// This models *partial* persistence (a crash between tuple
+    /// persists) and active tampering; the integrity checks exist to
+    /// catch exactly the states this method can create.
+    pub fn set_node(&mut self, label: NodeLabel, value: NodeValue) {
+        self.nodes.insert(label, value);
+    }
+
+    /// Checks that every stored internal node equals the hash of its
+    /// children.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-level inconsistent node.
+    pub fn verify_consistent(&self) -> Result<(), IntegrityError> {
+        // Check deepest levels first so the error points at the lowest
+        // inconsistency (most useful for diagnosing ordering bugs).
+        let mut labels: Vec<_> = self
+            .nodes
+            .keys()
+            .copied()
+            .filter(|l| self.geometry.level(*l) < self.geometry.levels())
+            .collect();
+        labels.sort_by_key(|l| std::cmp::Reverse(self.geometry.level(*l)));
+        for label in labels {
+            if self.recompute_internal(label) != self.node_value(label) {
+                return Err(IntegrityError { node: label });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies that a set of counter blocks matches this tree's root:
+    /// rebuilds a fresh tree from `counters` and compares roots. This is
+    /// the recovery-time check against the persistently-stored on-chip
+    /// root.
+    pub fn verify_counters_against_root<'a>(
+        &self,
+        counters: impl IntoIterator<Item = (u64, &'a CounterBlock)>,
+        master_key: SipKey,
+    ) -> Result<(), IntegrityError> {
+        let rebuilt = BonsaiTree::from_counters(self.geometry, master_key, counters);
+        if rebuilt.root() == self.root() {
+            Ok(())
+        } else {
+            Err(IntegrityError {
+                node: NodeLabel::ROOT,
+            })
+        }
+    }
+}
+
+/// Integrity-verification failure: a node whose stored value does not
+/// match recomputation ("BMT (verification) failure", Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntegrityError {
+    /// The inconsistent node.
+    pub node: NodeLabel,
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BMT verification failure at {}", self.node)
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> BonsaiTree {
+        BonsaiTree::new(BmtGeometry::new(8, 4), SipKey::new(77, 88))
+    }
+
+    fn bumped(slots: &[usize]) -> CounterBlock {
+        let mut cb = CounterBlock::new();
+        for &s in slots {
+            cb.bump(s);
+        }
+        cb
+    }
+
+    #[test]
+    fn fresh_tree_is_consistent_and_sparse() {
+        let t = tree();
+        assert_eq!(t.populated_nodes(), 0);
+        assert!(t.verify_consistent().is_ok());
+        // Root of an all-default tree equals the level-1 default.
+        assert_eq!(t.root(), t.node_value(NodeLabel::ROOT));
+    }
+
+    #[test]
+    fn update_changes_root_deterministically() {
+        let mut t1 = tree();
+        let mut t2 = tree();
+        let cb = bumped(&[3]);
+        t1.update_leaf(9, &cb);
+        t2.update_leaf(9, &cb);
+        assert_eq!(t1.root(), t2.root());
+        assert_ne!(t1.root(), tree().root());
+    }
+
+    #[test]
+    fn update_path_is_leaf_to_root() {
+        let mut t = tree();
+        let path = t.update_leaf(0, &bumped(&[0]));
+        let g = t.geometry();
+        assert_eq!(path.len(), 4);
+        assert_eq!(g.level(path[0].0), 4);
+        assert_eq!(path[3].0, NodeLabel::ROOT);
+        for w in path.windows(2) {
+            assert_eq!(g.parent(w[0].0), Some(w[1].0));
+        }
+        assert!(t.verify_consistent().is_ok());
+    }
+
+    #[test]
+    fn different_pages_different_roots() {
+        let cb = bumped(&[0]);
+        let mut t1 = tree();
+        let mut t2 = tree();
+        t1.update_leaf(0, &cb);
+        t2.update_leaf(1, &cb);
+        assert_ne!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn tamper_detected_by_consistency_check() {
+        let mut t = tree();
+        t.update_leaf(7, &bumped(&[1, 1]));
+        assert!(t.verify_consistent().is_ok());
+        // Flip an internal node on the update path.
+        let g = t.geometry();
+        let leaf = g.leaf(7);
+        let victim = g.parent(leaf).unwrap();
+        t.set_node(victim, t.node_value(victim) ^ 1);
+        let err = t.verify_consistent().unwrap_err();
+        // The *parent* of the tampered node is the one whose hash no
+        // longer matches its children... unless the tampered node itself
+        // also has stored children. Either way an error is raised.
+        assert!(g.level(err.node) < 4);
+    }
+
+    #[test]
+    fn stale_leaf_detected() {
+        // Persisting the counter but not the root (Table I row 1): the
+        // stored tree has the old root while counters moved on.
+        let t = tree();
+        let cb = bumped(&[0]);
+        let err = t
+            .verify_counters_against_root([(0u64, &cb)], SipKey::new(77, 88))
+            .unwrap_err();
+        assert_eq!(err.node, NodeLabel::ROOT);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn rebuild_matches_incremental() {
+        let mut t = tree();
+        let cb1 = bumped(&[0, 0, 5]);
+        let cb2 = bumped(&[63]);
+        t.update_leaf(2, &cb1);
+        t.update_leaf(500, &cb2);
+        let rebuilt = BonsaiTree::from_counters(
+            t.geometry(),
+            SipKey::new(77, 88),
+            [(2u64, &cb1), (500u64, &cb2)],
+        );
+        assert_eq!(rebuilt.root(), t.root());
+        assert!(t
+            .verify_counters_against_root([(2u64, &cb1), (500u64, &cb2)], SipKey::new(77, 88))
+            .is_ok());
+    }
+
+    #[test]
+    fn update_order_within_epoch_is_root_invariant() {
+        // The §IV-B1 WAW-safety argument: the final LCA value — and
+        // hence the root — does not depend on the order two persists
+        // update their common ancestors.
+        let cb_a = bumped(&[1]);
+        let cb_b = bumped(&[2, 2]);
+        let mut t1 = tree();
+        t1.update_leaf(0, &cb_a);
+        t1.update_leaf(1, &cb_b);
+        let mut t2 = tree();
+        t2.update_leaf(1, &cb_b);
+        t2.update_leaf(0, &cb_a);
+        assert_eq!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn same_leaf_last_writer_wins() {
+        let mut t = tree();
+        t.update_leaf(4, &bumped(&[0]));
+        let final_cb = bumped(&[0, 0]);
+        t.update_leaf(4, &final_cb);
+        let mut direct = tree();
+        direct.update_leaf(4, &final_cb);
+        assert_eq!(t.root(), direct.root());
+    }
+}

@@ -1,0 +1,265 @@
+//! System configuration: every knob the paper's evaluation sweeps.
+
+use plp_bmt::BmtGeometry;
+use plp_crypto::SipKey;
+use plp_nvm::NvmConfig;
+use plp_events::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Which BMT update mechanism the security engine uses — the six
+/// schemes of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UpdateScheme {
+    /// `secure_WB`: write-back caches, no persistency model. LLC dirty
+    /// evictions update the BMT sequentially. The normalization
+    /// baseline.
+    SecureWb,
+    /// `unordered`: write-through persists without Invariant 2 (no BMT
+    /// root-update ordering), similar to prior work (Triad-NVM). Fast
+    /// but NOT crash-recovery correct.
+    Unordered,
+    /// `sp`: strict persistency with fully sequential leaf-to-root
+    /// updates per persist.
+    Sp,
+    /// `pipeline`: strict persistency with PLP mechanism 1 — in-order
+    /// pipelined BMT updates through the PTT.
+    Pipeline,
+    /// `o3`: epoch persistency with PLP mechanism 2 — out-of-order
+    /// updates within an epoch, in-order (pipelined) across epochs via
+    /// the ETT.
+    O3,
+    /// `coalescing`: `o3` plus PLP mechanism 3 — LCA update coalescing.
+    Coalescing,
+    /// `sp_ctree`: strict persistency over an SGX-style counter tree —
+    /// the §V-D extension, where the *whole* update path must persist
+    /// instead of just the root. Not part of the paper's Table IV; it
+    /// quantifies why the paper sticks to Bonsai Merkle Trees.
+    SpCounterTree,
+}
+
+impl UpdateScheme {
+    /// All schemes, in the paper's Table IV order.
+    pub const ALL: [UpdateScheme; 6] = [
+        UpdateScheme::SecureWb,
+        UpdateScheme::Unordered,
+        UpdateScheme::Sp,
+        UpdateScheme::Pipeline,
+        UpdateScheme::O3,
+        UpdateScheme::Coalescing,
+    ];
+
+    /// Table IV's schemes plus this repo's §V-D counter-tree
+    /// extension.
+    pub const ALL_EXTENDED: [UpdateScheme; 7] = [
+        UpdateScheme::SecureWb,
+        UpdateScheme::Unordered,
+        UpdateScheme::Sp,
+        UpdateScheme::Pipeline,
+        UpdateScheme::O3,
+        UpdateScheme::Coalescing,
+        UpdateScheme::SpCounterTree,
+    ];
+
+    /// The paper's name for the scheme.
+    pub fn name(self) -> &'static str {
+        match self {
+            UpdateScheme::SecureWb => "secure_WB",
+            UpdateScheme::Unordered => "unordered",
+            UpdateScheme::Sp => "sp",
+            UpdateScheme::Pipeline => "pipeline",
+            UpdateScheme::O3 => "o3",
+            UpdateScheme::Coalescing => "coalescing",
+            UpdateScheme::SpCounterTree => "sp_ctree",
+        }
+    }
+
+    /// Whether the scheme persists stores through epochs (epoch
+    /// persistency) rather than one by one (strict persistency).
+    pub fn is_epoch_based(self) -> bool {
+        matches!(self, UpdateScheme::O3 | UpdateScheme::Coalescing)
+    }
+
+    /// Whether every store is persisted individually and synchronously
+    /// ordered (the strict-persistency family, plus the unordered
+    /// strawman which persists per-store but skips root ordering).
+    pub fn is_store_persisting(self) -> bool {
+        matches!(
+            self,
+            UpdateScheme::Sp
+                | UpdateScheme::Pipeline
+                | UpdateScheme::Unordered
+                | UpdateScheme::SpCounterTree
+        )
+    }
+}
+
+impl std::fmt::Display for UpdateScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which memory regions persist (Table IV's `_full` suffix).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtectionScope {
+    /// Persist only non-stack stores (the paper's default: heap and
+    /// static/global regions).
+    #[default]
+    NonStack,
+    /// Persist every store, stack included (`_full`).
+    Full,
+}
+
+/// Full system configuration (Table III defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// BMT update scheme.
+    pub scheme: UpdateScheme,
+    /// Which stores persist.
+    pub scope: ProtectionScope,
+    /// MAC/hash unit latency in cycles (Table III default 40; Fig. 9
+    /// sweeps {0, 20, 40, 80}).
+    pub mac_latency: Cycle,
+    /// Ideal metadata caches: never miss, zero-latency MAC (Fig. 9's
+    /// `MDC` configuration).
+    pub ideal_metadata: bool,
+    /// Epoch size in stores (Table III default 32; Figs. 11–12 sweep
+    /// 4..256).
+    pub epoch_size: usize,
+    /// Write-pending-queue entries (default 32; §VII sweeps 4..64).
+    pub wpq_entries: usize,
+    /// Persist-tracking-table entries (default 64).
+    pub ptt_entries: usize,
+    /// Epoch-tracking-table entries: concurrent epochs (default 2).
+    pub ett_entries: usize,
+    /// Last-level-cache capacity in bytes (default 4 MB; §VII sweeps
+    /// 1–4 MB).
+    pub llc_bytes: usize,
+    /// Capacity of each metadata cache (counter/MAC/BMT) in bytes
+    /// (default 128 KB; §VII sweeps 32–256 KB).
+    pub metadata_cache_bytes: usize,
+    /// L1/L2/L3 hit latencies in cycles (defaults 2/20/30).
+    pub cache_latencies: [Cycle; 3],
+    /// BMT shape (default 8-ary, 9 levels — the paper's stated
+    /// update-path length for 8 GB).
+    pub bmt: BmtGeometry,
+    /// NVM device parameters (Table III).
+    pub nvm: NvmConfig,
+    /// Master key for the functional crypto.
+    pub key: SipKey,
+    /// Keep full per-persist records for crash-recovery analysis
+    /// (memory-heavy; enable for tests, disable for long sweeps).
+    pub record_persists: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            scheme: UpdateScheme::SecureWb,
+            scope: ProtectionScope::NonStack,
+            mac_latency: Cycle::new(40),
+            ideal_metadata: false,
+            epoch_size: 32,
+            wpq_entries: 32,
+            ptt_entries: 64,
+            ett_entries: 2,
+            llc_bytes: 4 << 20,
+            metadata_cache_bytes: 128 << 10,
+            cache_latencies: [Cycle::new(2), Cycle::new(20), Cycle::new(30)],
+            bmt: BmtGeometry::new(8, 9),
+            nvm: NvmConfig::paper_default(),
+            key: SipKey::new(0x504c505f4b455930, 0x504c505f4b455931),
+            record_persists: false,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// A configuration for `scheme` with all other knobs at paper
+    /// defaults.
+    pub fn for_scheme(scheme: UpdateScheme) -> Self {
+        SystemConfig {
+            scheme,
+            ..SystemConfig::default()
+        }
+    }
+
+    /// Validates cross-field constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.epoch_size == 0 {
+            return Err("epoch size must be at least 1 store".into());
+        }
+        if self.wpq_entries == 0 || self.ptt_entries == 0 {
+            return Err("WPQ and PTT must have at least one entry".into());
+        }
+        if self.ett_entries == 0 {
+            return Err("ETT must allow at least one concurrent epoch".into());
+        }
+        if self.scheme.is_epoch_based() && self.ett_entries < 1 {
+            return Err("epoch schemes need an ETT".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table3() {
+        let c = SystemConfig::default();
+        assert_eq!(c.mac_latency, Cycle::new(40));
+        assert_eq!(c.epoch_size, 32);
+        assert_eq!(c.wpq_entries, 32);
+        assert_eq!(c.ptt_entries, 64);
+        assert_eq!(c.ett_entries, 2);
+        assert_eq!(c.llc_bytes, 4 << 20);
+        assert_eq!(c.metadata_cache_bytes, 128 << 10);
+        assert_eq!(c.bmt.levels(), 9);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn scheme_names_match_table4() {
+        let names: Vec<_> = UpdateScheme::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec!["secure_WB", "unordered", "sp", "pipeline", "o3", "coalescing"]
+        );
+    }
+
+    #[test]
+    fn scheme_classification() {
+        use UpdateScheme::*;
+        assert!(O3.is_epoch_based() && Coalescing.is_epoch_based());
+        assert!(!Sp.is_epoch_based());
+        assert!(Sp.is_store_persisting() && Pipeline.is_store_persisting());
+        assert!(Unordered.is_store_persisting());
+        assert!(!SecureWb.is_store_persisting());
+        assert_eq!(Coalescing.to_string(), "coalescing");
+    }
+
+    #[test]
+    fn validation_catches_degenerate_configs() {
+        let c = SystemConfig {
+            epoch_size: 0,
+            ..SystemConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SystemConfig {
+            wpq_entries: 0,
+            ..SystemConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SystemConfig {
+            ett_entries: 0,
+            ..SystemConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! BMT update engines: the timing models of §IV's four update schemes
+//! (plus the `unordered` strawman).
+//!
+//! Every engine answers one question per persist: *when is this
+//! persist's leaf-to-root BMT update path done, given the scheme's
+//! ordering rules, the MAC unit's occupancy and the BMT cache's hit
+//! behaviour?* Functional tree contents are maintained separately by
+//! the system model; engines deal purely in time.
+//!
+//! | Engine | Scheme | Ordering rule |
+//! |---|---|---|
+//! | [`SequentialEngine`] | `sp`, `secure_WB` evictions | one persist at a time, one level at a time |
+//! | [`PipelinedEngine`] | `pipeline` | PTT: persists stagger one tree level apart, in order |
+//! | [`UnorderedEngine`] | `unordered` | none (violates Invariant 2) |
+//! | [`OooEngine`] | `o3` | ETT: free within an epoch, levels pipelined across epochs |
+//! | [`CoalescingEngine`] | `coalescing` | `o3` plus LCA handoff chains |
+//! | [`CounterTreeEngine`] | `sp_ctree` | sequential, whole path persists (§V-D extension) |
+
+mod coalesce;
+mod ctree;
+mod ooo;
+mod pipeline;
+mod sequential;
+mod unordered;
+
+pub use coalesce::CoalescingEngine;
+pub use ctree::CounterTreeEngine;
+pub use ooo::OooEngine;
+pub use pipeline::PipelinedEngine;
+pub use sequential::SequentialEngine;
+pub use unordered::UnorderedEngine;
+
+use plp_bmt::{BmtGeometry, NodeLabel};
+use plp_events::Cycle;
+use plp_nvm::NvmDevice;
+use serde::{Deserialize, Serialize};
+
+use crate::meta::{bmt_node_block_addr, MetadataCaches};
+use crate::{SystemConfig, UpdateScheme};
+
+/// Counters reported by the engines.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// BMT node updates performed (each is one MAC computation).
+    pub node_updates: u64,
+    /// BMT node blocks fetched from NVM on BMT-cache misses.
+    pub bmt_fetches: u64,
+    /// Persists scheduled.
+    pub persists: u64,
+}
+
+/// Mutable context an engine needs while scheduling: the BMT cache,
+/// the NVM device (for miss fetches) and statistics.
+pub struct EngineCtx<'a> {
+    /// Tree shape.
+    pub geometry: BmtGeometry,
+    /// Effective MAC latency (zero under ideal metadata).
+    pub mac_latency: Cycle,
+    /// The metadata caches (BMT cache lookups).
+    pub meta: &'a mut MetadataCaches,
+    /// The NVM device for miss fetches.
+    pub nvm: &'a mut NvmDevice,
+    /// Engine statistics.
+    pub stats: &'a mut EngineStats,
+}
+
+impl EngineCtx<'_> {
+    /// When node `label` is available on chip for an update requested
+    /// at `at`: immediately for the root (an on-chip register) and BMT
+    /// cache hits; after an NVM fetch plus integrity verification on a
+    /// miss. Sibling values share the fetched 64-byte node block
+    /// (eight 8-byte nodes per block), so one fetch covers the MAC
+    /// inputs of the level.
+    pub fn node_ready(&mut self, label: NodeLabel, at: Cycle) -> Cycle {
+        if label.is_root() {
+            return at;
+        }
+        if self.meta.access_bmt(label, true) {
+            at
+        } else {
+            self.stats.bmt_fetches += 1;
+            let fetched = self.nvm.read(at, bmt_node_block_addr(label));
+            fetched + self.mac_latency // verify the fetched node
+        }
+    }
+}
+
+/// A persist request handed to an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateRequest {
+    /// The BMT leaf whose counter block changed.
+    pub leaf: NodeLabel,
+    /// Earliest cycle the update may begin (tuple gathered in WPQ).
+    pub now: Cycle,
+}
+
+/// The engine selected by a [`SystemConfig`], as one dispatchable type.
+#[derive(Debug, Clone)]
+pub enum Engine {
+    /// Fully sequential updates.
+    Sequential(SequentialEngine),
+    /// PTT-scheduled in-order pipeline.
+    Pipelined(PipelinedEngine),
+    /// No ordering (invariant-violating strawman).
+    Unordered(UnorderedEngine),
+    /// ETT/PTT out-of-order within epochs.
+    Ooo(OooEngine),
+    /// Out-of-order plus LCA coalescing.
+    Coalescing(CoalescingEngine),
+    /// Strict persistency over an SGX-style counter tree (§V-D
+    /// extension).
+    CounterTree(CounterTreeEngine),
+}
+
+impl Engine {
+    /// Builds the engine for `config`'s scheme. The `secure_WB`
+    /// baseline routes its eviction write-backs through a sequential
+    /// engine (§VII: evicted dirty blocks update the BMT sequentially).
+    pub fn for_config(config: &SystemConfig) -> Engine {
+        let mac = if config.ideal_metadata {
+            Cycle::ZERO
+        } else {
+            config.mac_latency
+        };
+        let levels = config.bmt.levels();
+        match config.scheme {
+            UpdateScheme::SecureWb | UpdateScheme::Sp => {
+                Engine::Sequential(SequentialEngine::new(mac))
+            }
+            UpdateScheme::Pipeline => {
+                Engine::Pipelined(PipelinedEngine::new(mac, levels, config.ptt_entries))
+            }
+            UpdateScheme::Unordered => Engine::Unordered(UnorderedEngine::new(mac)),
+            UpdateScheme::O3 => Engine::Ooo(OooEngine::new(mac, levels, config.ett_entries)),
+            UpdateScheme::Coalescing => {
+                Engine::Coalescing(CoalescingEngine::new(mac, levels, config.ett_entries))
+            }
+            UpdateScheme::SpCounterTree => Engine::CounterTree(CounterTreeEngine::new(mac)),
+        }
+    }
+
+    /// Schedules a persist's BMT update path; returns the cycle this
+    /// persist's scheduled work completes (for 2SP engines, the root
+    /// update; for coalescing, the persist's own committed nodes — the
+    /// delegated suffix completes at [`Engine::seal_epoch`]).
+    pub fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
+        ctx.stats.persists += 1;
+        match self {
+            Engine::Sequential(e) => e.persist(req, ctx),
+            Engine::Pipelined(e) => e.persist(req, ctx),
+            Engine::Unordered(e) => e.persist(req, ctx),
+            Engine::Ooo(e) => e.persist(req, ctx),
+            Engine::Coalescing(e) => e.persist(req, ctx),
+            Engine::CounterTree(e) => e.persist(req, ctx),
+        }
+    }
+
+    /// Seals the current epoch at an `sfence`: finalizes any pending
+    /// coalescing chain, records per-level completion constraints for
+    /// the next epoch and returns the sealed epoch's completion time.
+    /// Non-epoch engines return `None`.
+    pub fn seal_epoch(&mut self, ctx: &mut EngineCtx<'_>) -> Option<Cycle> {
+        match self {
+            Engine::Ooo(e) => Some(e.seal_epoch()),
+            Engine::Coalescing(e) => Some(e.seal_epoch(ctx)),
+            _ => None,
+        }
+    }
+
+    /// The time the engine's last scheduled work completes.
+    pub fn drained_at(&self) -> Cycle {
+        match self {
+            Engine::Sequential(e) => e.drained_at(),
+            Engine::Pipelined(e) => e.drained_at(),
+            Engine::Unordered(e) => e.drained_at(),
+            Engine::Ooo(e) => e.drained_at(),
+            Engine::Coalescing(e) => e.drained_at(),
+            Engine::CounterTree(e) => e.drained_at(),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use plp_nvm::NvmConfig;
+
+    /// A self-contained harness owning everything an `EngineCtx`
+    /// borrows.
+    pub struct CtxHarness {
+        pub geometry: BmtGeometry,
+        pub mac: Cycle,
+        pub meta: MetadataCaches,
+        pub nvm: NvmDevice,
+        pub stats: EngineStats,
+    }
+
+    impl CtxHarness {
+        /// 8-ary 4-level tree, 40-cycle MAC, ideal metadata by default
+        /// so engine scheduling is exact.
+        pub fn ideal() -> Self {
+            CtxHarness {
+                geometry: BmtGeometry::new(8, 4),
+                mac: Cycle::new(40),
+                meta: MetadataCaches::new(32 << 10, true),
+                nvm: NvmDevice::new(NvmConfig::paper_default()),
+                stats: EngineStats::default(),
+            }
+        }
+
+        /// Same shape but with real (cold) metadata caches.
+        pub fn cold() -> Self {
+            let mut h = Self::ideal();
+            h.meta = MetadataCaches::new(32 << 10, false);
+            h
+        }
+
+        pub fn ctx(&mut self) -> EngineCtx<'_> {
+            EngineCtx {
+                geometry: self.geometry,
+                mac_latency: self.mac,
+                meta: &mut self.meta,
+                nvm: &mut self.nvm,
+                stats: &mut self.stats,
+            }
+        }
+
+        pub fn req(&self, page: u64, now: u64) -> UpdateRequest {
+            UpdateRequest {
+                leaf: self.geometry.leaf(page),
+                now: Cycle::new(now),
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Capacity-limited FIFO queues with occupancy statistics.
+
+use std::collections::VecDeque;
+
+use crate::Cycle;
+
+/// A bounded FIFO queue that tracks occupancy over simulated time.
+///
+/// Used for the write-pending queue (WPQ) in the memory controller and
+/// the NVM read/write queues. Pushing into a full queue is a modelling
+/// decision for the *caller* (stall, drop, or back-pressure), so
+/// [`BoundedQueue::try_push`] reports fullness instead of panicking.
+///
+/// Occupancy statistics are integrated over time: each push/pop records
+/// the queue length weighted by how long it was held, so
+/// [`BoundedQueue::mean_occupancy`] is exact.
+///
+/// # Example
+///
+/// ```
+/// use plp_events::{BoundedQueue, Cycle};
+///
+/// let mut wpq: BoundedQueue<u32> = BoundedQueue::new(2);
+/// assert!(wpq.try_push(Cycle::new(0), 1).is_ok());
+/// assert!(wpq.try_push(Cycle::new(0), 2).is_ok());
+/// assert!(wpq.try_push(Cycle::new(0), 3).is_err()); // full
+/// assert_eq!(wpq.pop(Cycle::new(10)), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    last_change: Cycle,
+    occupancy_integral: u128,
+    peak: usize,
+    pushes: u64,
+    rejected: u64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates an empty queue with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            last_change: Cycle::ZERO,
+            occupancy_integral: 0,
+            peak: 0,
+            pushes: 0,
+            rejected: 0,
+        }
+    }
+
+    fn account(&mut self, now: Cycle) {
+        let span = now.saturating_sub(self.last_change).get() as u128;
+        self.occupancy_integral += span * self.items.len() as u128;
+        self.last_change = self.last_change.max(now);
+    }
+
+    /// Attempts to enqueue `item` at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` (handing the item back) if the queue is full.
+    pub fn try_push(&mut self, now: Cycle, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.account(now);
+        self.items.push_back(item);
+        self.pushes += 1;
+        self.peak = self.peak.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest item at time `now`.
+    pub fn pop(&mut self, now: Cycle) -> Option<T> {
+        self.account(now);
+        self.items.pop_front()
+    }
+
+    /// Removes and returns the first item matching `pred`, at time `now`.
+    pub fn remove_first(&mut self, now: Cycle, pred: impl FnMut(&T) -> bool) -> Option<T> {
+        let idx = self.items.iter().position(pred)?;
+        self.account(now);
+        self.items.remove(idx)
+    }
+
+    /// Returns a reference to the oldest item without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Iterates over queued items from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Mutably iterates over queued items from oldest to newest.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.items.iter_mut()
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of successful pushes.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Number of rejected (queue-full) pushes.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Mean occupancy over `[0, now]`, in items.
+    pub fn mean_occupancy(&mut self, now: Cycle) -> f64 {
+        self.account(now);
+        if now == Cycle::ZERO {
+            return self.items.len() as f64;
+        }
+        self.occupancy_integral as f64 / now.get() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.try_push(Cycle::ZERO, i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(Cycle::ZERO), Some(i));
+        }
+        assert_eq!(q.pop(Cycle::ZERO), None);
+    }
+
+    #[test]
+    fn rejects_when_full() {
+        let mut q = BoundedQueue::new(1);
+        q.try_push(Cycle::ZERO, 'a').unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.try_push(Cycle::ZERO, 'b'), Err('b'));
+        assert_eq!(q.rejected(), 1);
+        q.pop(Cycle::ZERO);
+        assert!(q.try_push(Cycle::ZERO, 'b').is_ok());
+        assert_eq!(q.pushes(), 2);
+    }
+
+    #[test]
+    fn remove_first_matching() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(Cycle::ZERO, i).unwrap();
+        }
+        assert_eq!(q.remove_first(Cycle::ZERO, |&x| x == 3), Some(3));
+        assert_eq!(q.remove_first(Cycle::ZERO, |&x| x == 3), None);
+        let rest: Vec<_> = q.iter().copied().collect();
+        assert_eq!(rest, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn occupancy_statistics() {
+        let mut q = BoundedQueue::new(4);
+        // Occupancy 0 over [0,10), 1 over [10,30), 2 over [30,40).
+        q.try_push(Cycle::new(10), "x").unwrap();
+        q.try_push(Cycle::new(30), "y").unwrap();
+        let mean = q.mean_occupancy(Cycle::new(40));
+        // Integral = 0*10 + 1*20 + 2*10 = 40; mean over 40 cycles = 1.0.
+        assert!((mean - 1.0).abs() < 1e-12);
+        assert_eq!(q.peak_occupancy(), 2);
+    }
+
+    #[test]
+    fn front_and_iter_mut() {
+        let mut q = BoundedQueue::new(3);
+        q.try_push(Cycle::ZERO, 1).unwrap();
+        q.try_push(Cycle::ZERO, 2).unwrap();
+        assert_eq!(q.front(), Some(&1));
+        for v in q.iter_mut() {
+            *v *= 10;
+        }
+        assert_eq!(q.pop(Cycle::ZERO), Some(10));
+        assert_eq!(q.pop(Cycle::ZERO), Some(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: BoundedQueue<u8> = BoundedQueue::new(0);
+    }
+}

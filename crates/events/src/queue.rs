@@ -1,0 +1,189 @@
+//! The deterministic time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// A time-ordered event queue with deterministic tie-breaking.
+///
+/// Events popped from the queue come out in non-decreasing time order;
+/// events scheduled for the *same* cycle come out in the order they were
+/// pushed (FIFO). This guarantee is what makes whole-simulation runs
+/// reproducible bit-for-bit.
+///
+/// The payload type `E` needs no ordering of its own.
+///
+/// # Example
+///
+/// ```
+/// use plp_events::{Cycle, EventQueue};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Fetch, Retire }
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle::new(3), Ev::Retire);
+/// q.push(Cycle::new(1), Ev::Fetch);
+/// assert_eq!(q.pop(), Some((Cycle::new(1), Ev::Fetch)));
+/// assert_eq!(q.peek_time(), Some(Cycle::new(3)));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so that the earliest time (and
+        // for equal times, the lowest sequence number) is popped first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty event queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    pub fn push(&mut self, time: Cycle, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Returns the time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest event only if it fires at or
+    /// before `now`.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, E)> {
+        if self.peek_time().is_some_and(|t| t <= now) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(30), 3);
+        q.push(Cycle::new(10), 1);
+        q.push(Cycle::new(20), 2);
+        assert_eq!(q.pop(), Some((Cycle::new(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle::new(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle::new(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle::new(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle::new(7), i)));
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(5), "early");
+        q.push(Cycle::new(15), "late");
+        assert_eq!(q.pop_due(Cycle::new(4)), None);
+        assert_eq!(q.pop_due(Cycle::new(5)), Some((Cycle::new(5), "early")));
+        assert_eq!(q.pop_due(Cycle::new(10)), None);
+        assert_eq!(q.pop_due(Cycle::new(20)), Some((Cycle::new(15), "late")));
+    }
+
+    #[test]
+    fn len_empty_clear() {
+        let mut q = EventQueue::default();
+        assert!(q.is_empty());
+        q.push(Cycle::ZERO, ());
+        q.push(Cycle::ZERO, ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(10), 'a');
+        q.push(Cycle::new(5), 'b');
+        assert_eq!(q.pop(), Some((Cycle::new(5), 'b')));
+        q.push(Cycle::new(7), 'c');
+        q.push(Cycle::new(6), 'd');
+        assert_eq!(q.pop(), Some((Cycle::new(6), 'd')));
+        assert_eq!(q.pop(), Some((Cycle::new(7), 'c')));
+        assert_eq!(q.pop(), Some((Cycle::new(10), 'a')));
+    }
+}

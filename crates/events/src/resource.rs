@@ -1,0 +1,208 @@
+//! Occupancy models for hardware resources.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Cycle;
+
+/// A single-server resource that serves one request at a time.
+///
+/// `BusyResource` models structures like a non-pipelined hash unit or a
+/// memory bank: a request arriving at `now` starts at
+/// `max(now, free_at)`, occupies the resource for its service time, and
+/// leaves the resource busy until it finishes.
+///
+/// # Example
+///
+/// ```
+/// use plp_events::{BusyResource, Cycle};
+///
+/// let mut mac_unit = BusyResource::new();
+/// // First MAC starts immediately and finishes at cycle 40.
+/// assert_eq!(mac_unit.reserve(Cycle::new(0), Cycle::new(40)), Cycle::new(40));
+/// // A request arriving at cycle 10 must wait until cycle 40.
+/// assert_eq!(mac_unit.reserve(Cycle::new(10), Cycle::new(40)), Cycle::new(80));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusyResource {
+    free_at: Cycle,
+    busy_cycles: Cycle,
+    served: u64,
+}
+
+impl BusyResource {
+    /// Creates an idle resource.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves the resource for `service` cycles starting no earlier
+    /// than `now`, returning the completion time.
+    pub fn reserve(&mut self, now: Cycle, service: Cycle) -> Cycle {
+        let start = now.max(self.free_at);
+        let done = start + service;
+        self.free_at = done;
+        self.busy_cycles += service;
+        self.served += 1;
+        done
+    }
+
+    /// The earliest time a new request could start service.
+    pub fn free_at(&self) -> Cycle {
+        self.free_at
+    }
+
+    /// Whether the resource is idle at `now`.
+    pub fn is_idle_at(&self, now: Cycle) -> bool {
+        self.free_at <= now
+    }
+
+    /// Total cycles spent serving requests.
+    pub fn busy_cycles(&self) -> Cycle {
+        self.busy_cycles
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+}
+
+/// A pipelined unit with an initiation interval shorter than its latency.
+///
+/// Models structures like a pipelined MAC engine: a new operation can be
+/// *issued* every `initiation_interval` cycles, and each operation
+/// completes `latency` cycles after it issues. The paper's out-of-order
+/// BMT update engine relies on exactly this property ("with OOO, a BMT
+/// update can start at every cycle", §IV-B1).
+///
+/// # Example
+///
+/// ```
+/// use plp_events::{Cycle, PipelinedUnit};
+///
+/// // 40-cycle latency, one issue per cycle.
+/// let mut unit = PipelinedUnit::new(Cycle::new(40), Cycle::new(1));
+/// assert_eq!(unit.issue(Cycle::new(0)), Cycle::new(40));
+/// assert_eq!(unit.issue(Cycle::new(0)), Cycle::new(41)); // issues at cycle 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelinedUnit {
+    latency: Cycle,
+    initiation_interval: Cycle,
+    next_issue: Cycle,
+    issued: u64,
+}
+
+impl PipelinedUnit {
+    /// Creates a pipelined unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initiation_interval` is zero (a unit must take at
+    /// least one cycle between issues).
+    pub fn new(latency: Cycle, initiation_interval: Cycle) -> Self {
+        assert!(
+            initiation_interval > Cycle::ZERO,
+            "initiation interval must be at least one cycle"
+        );
+        PipelinedUnit {
+            latency,
+            initiation_interval,
+            next_issue: Cycle::ZERO,
+            issued: 0,
+        }
+    }
+
+    /// Issues an operation at the earliest slot at or after `now`,
+    /// returning its completion time.
+    pub fn issue(&mut self, now: Cycle) -> Cycle {
+        let start = now.max(self.next_issue);
+        self.next_issue = start + self.initiation_interval;
+        self.issued += 1;
+        start + self.latency
+    }
+
+    /// The operation latency.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// The initiation interval.
+    pub fn initiation_interval(&self) -> Cycle {
+        self.initiation_interval
+    }
+
+    /// The earliest cycle at which the next operation may issue.
+    pub fn next_issue_at(&self) -> Cycle {
+        self.next_issue
+    }
+
+    /// Number of operations issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_resource_serializes_requests() {
+        let mut r = BusyResource::new();
+        let s = Cycle::new(80);
+        assert_eq!(r.reserve(Cycle::new(0), s), Cycle::new(80));
+        assert_eq!(r.reserve(Cycle::new(0), s), Cycle::new(160));
+        assert_eq!(r.reserve(Cycle::new(500), s), Cycle::new(580));
+        assert_eq!(r.served(), 3);
+        assert_eq!(r.busy_cycles(), Cycle::new(240));
+    }
+
+    #[test]
+    fn busy_resource_idle_gap() {
+        let mut r = BusyResource::new();
+        r.reserve(Cycle::new(0), Cycle::new(10));
+        assert!(!r.is_idle_at(Cycle::new(5)));
+        assert!(r.is_idle_at(Cycle::new(10)));
+        assert_eq!(r.free_at(), Cycle::new(10));
+    }
+
+    #[test]
+    fn pipelined_unit_throughput() {
+        let mut u = PipelinedUnit::new(Cycle::new(40), Cycle::new(1));
+        // Ten back-to-back issues at cycle 0 complete at 40..=49, not
+        // 40, 80, ... — that is the whole point of pipelining.
+        for i in 0..10u64 {
+            assert_eq!(u.issue(Cycle::ZERO), Cycle::new(40 + i));
+        }
+        assert_eq!(u.issued(), 10);
+    }
+
+    #[test]
+    fn pipelined_unit_respects_now() {
+        let mut u = PipelinedUnit::new(Cycle::new(40), Cycle::new(4));
+        assert_eq!(u.issue(Cycle::new(100)), Cycle::new(140));
+        assert_eq!(u.next_issue_at(), Cycle::new(104));
+        // Arriving later than next_issue: starts at arrival.
+        assert_eq!(u.issue(Cycle::new(200)), Cycle::new(240));
+        assert_eq!(u.latency(), Cycle::new(40));
+        assert_eq!(u.initiation_interval(), Cycle::new(4));
+    }
+
+    #[test]
+    fn unpipelined_equivalence() {
+        // initiation interval == latency behaves like BusyResource.
+        let mut u = PipelinedUnit::new(Cycle::new(40), Cycle::new(40));
+        let mut b = BusyResource::new();
+        for now in [0u64, 0, 10, 95, 300] {
+            let now = Cycle::new(now);
+            assert_eq!(u.issue(now), b.reserve(now, Cycle::new(40)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "initiation interval")]
+    fn zero_initiation_interval_rejected() {
+        let _ = PipelinedUnit::new(Cycle::new(40), Cycle::ZERO);
+    }
+}

@@ -1,0 +1,379 @@
+//! The bank/row timing model of the NVM device.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use plp_events::addr::BlockAddr;
+use plp_events::Cycle;
+use serde::{Deserialize, Serialize};
+
+use crate::NvmConfig;
+
+/// Statistics reported by the device.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NvmStats {
+    /// Read commands serviced.
+    pub reads: u64,
+    /// Write commands serviced.
+    pub writes: u64,
+    /// Writes absorbed by an already-pending write to the same block
+    /// (write combining in the write queue).
+    pub writes_combined: u64,
+    /// Reads that hit an open row buffer.
+    pub row_hits: u64,
+    /// Reads that had to activate a row.
+    pub row_misses: u64,
+    /// Cycles accesses spent waiting for a full read/write queue.
+    pub queue_stall_cycles: u64,
+}
+
+/// One bank's schedule: non-overlapping busy reservations.
+///
+/// Requests do not arrive in time order — the security engine books
+/// fetches at gated *future* times while the core issues loads at the
+/// current clock — so a scalar `busy_until` would let a future write
+/// block an earlier read. Instead each bank keeps its reservations and
+/// a new request takes the earliest gap at or after its own time, which
+/// also gives reads natural priority over queued future writes.
+#[derive(Debug, Clone, Default)]
+struct Bank {
+    /// start -> end of each reservation, non-overlapping.
+    reservations: std::collections::BTreeMap<u64, u64>,
+    /// Chronologically last access's row (row-buffer state).
+    open_row: Option<u64>,
+    /// End of the chronologically last reservation.
+    latest_end: u64,
+}
+
+impl Bank {
+    /// Books `len` busy cycles at the earliest gap at or after `now`;
+    /// returns the start time.
+    fn reserve(&mut self, now: u64, len: u64) -> u64 {
+        let mut candidate = now;
+        // A reservation already covering `candidate` pushes it to its
+        // end.
+        if let Some((_, &e)) = self.reservations.range(..=candidate).next_back() {
+            if e > candidate {
+                candidate = e;
+            }
+        }
+        // Walk later reservations until a large-enough gap appears.
+        for (&s, &e) in self.reservations.range(candidate..) {
+            if s >= candidate + len {
+                break;
+            }
+            candidate = candidate.max(e);
+        }
+        self.reservations.insert(candidate, candidate + len);
+        // Bounded memory: drop reservations far behind the schedule
+        // frontier (no future request plausibly lands there).
+        if self.reservations.len() > 1024 {
+            let horizon = self.latest_end.saturating_sub(2_000_000);
+            self.reservations.retain(|_, &mut e| e >= horizon);
+        }
+        candidate
+    }
+}
+
+/// Tracks in-flight commands against a queue capacity: a new command
+/// may only be admitted once fewer than `capacity` are outstanding.
+#[derive(Debug, Clone, Default)]
+struct OutstandingSet {
+    completions: BinaryHeap<Reverse<u64>>,
+    capacity: usize,
+}
+
+impl OutstandingSet {
+    fn new(capacity: usize) -> Self {
+        OutstandingSet {
+            completions: BinaryHeap::new(),
+            capacity,
+        }
+    }
+
+    /// Earliest time at or after `now` when a slot is free.
+    fn admission_time(&mut self, now: Cycle) -> Cycle {
+        while let Some(&Reverse(t)) = self.completions.peek() {
+            if Cycle::new(t) <= now {
+                self.completions.pop();
+            } else {
+                break;
+            }
+        }
+        if self.completions.len() < self.capacity {
+            now
+        } else {
+            let Reverse(t) = *self.completions.peek().expect("full set is non-empty");
+            self.completions.pop();
+            Cycle::new(t)
+        }
+    }
+
+    fn record(&mut self, completion: Cycle) {
+        self.completions.push(Reverse(completion.get()));
+    }
+}
+
+/// The NVM device timing model: banks with row buffers, read priority
+/// via separate read/write queues, and per-command completion times in
+/// CPU cycles.
+///
+/// # Example
+///
+/// ```
+/// use plp_events::{addr::BlockAddr, Cycle};
+/// use plp_nvm::{NvmConfig, NvmDevice};
+///
+/// let mut nvm = NvmDevice::new(NvmConfig::paper_default());
+/// let a = BlockAddr::new(0);
+/// let first = nvm.read(Cycle::ZERO, a);
+/// // A second read to the same block hits its open row: cheaper.
+/// let second = nvm.read(first, a);
+/// assert!(second - first < first - Cycle::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NvmDevice {
+    config: NvmConfig,
+    banks: Vec<Bank>,
+    reads: OutstandingSet,
+    writes: OutstandingSet,
+    /// Pending (not yet durable) writes, for write combining.
+    pending_writes: std::collections::HashMap<BlockAddr, Cycle>,
+    stats: NvmStats,
+}
+
+impl NvmDevice {
+    /// Creates an idle device.
+    pub fn new(config: NvmConfig) -> Self {
+        NvmDevice {
+            banks: vec![Bank::default(); config.banks],
+            reads: OutstandingSet::new(config.read_queue),
+            writes: OutstandingSet::new(config.write_queue),
+            pending_writes: std::collections::HashMap::new(),
+            config,
+            stats: NvmStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NvmConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> NvmStats {
+        self.stats
+    }
+
+    /// Maps a block address to `(bank, row-within-bank)` according to
+    /// the configured interleaving.
+    fn map(&self, addr: BlockAddr) -> (usize, u64) {
+        let banks = self.config.banks as u64;
+        let blocks_per_row = self.config.row_bytes / plp_events::addr::CACHE_BLOCK_SIZE as u64;
+        match self.config.interleave {
+            crate::Interleave::RowLevel => {
+                let row = addr.index() / blocks_per_row;
+                ((row % banks) as usize, row)
+            }
+            crate::Interleave::BlockLevel => {
+                let bank = (addr.index() % banks) as usize;
+                let row = (addr.index() / banks) / blocks_per_row;
+                (bank, row)
+            }
+        }
+    }
+
+    /// Issues a read for `addr` at `now`; returns the cycle the data is
+    /// available on chip.
+    pub fn read(&mut self, now: Cycle, addr: BlockAddr) -> Cycle {
+        let admitted = self.reads.admission_time(now);
+        self.stats.queue_stall_cycles += (admitted - now).get();
+        let (bank_idx, row) = self.map(addr);
+        let bank = &mut self.banks[bank_idx];
+        let latency = if bank.open_row == Some(row) {
+            self.stats.row_hits += 1;
+            self.config.timing.read_row_hit_cycles(self.config.cpu_freq)
+        } else {
+            self.stats.row_misses += 1;
+            self.config
+                .timing
+                .read_row_miss_cycles(self.config.cpu_freq)
+        };
+        let start = bank.reserve(admitted.get(), latency.get());
+        let done = Cycle::new(start) + latency;
+        if done.get() >= bank.latest_end {
+            bank.latest_end = done.get();
+            bank.open_row = Some(row);
+        }
+        self.stats.reads += 1;
+        self.reads.record(done);
+        done
+    }
+
+    /// Issues a (posted) write for `addr` at `now`; returns the cycle
+    /// the write is durable in the medium. The caller decides whether
+    /// anything waits for this completion (ADR means stores usually do
+    /// not, but the write-queue capacity still throttles).
+    pub fn write(&mut self, now: Cycle, addr: BlockAddr) -> Cycle {
+        // Write combining: a store to a block that already has a write
+        // pending in the queue merges into it (the queue holds the
+        // freshest data; one media write suffices).
+        if let Some(&done) = self.pending_writes.get(&addr) {
+            if done > now {
+                self.stats.writes_combined += 1;
+                return done;
+            }
+        }
+        let admitted = self.writes.admission_time(now);
+        self.stats.queue_stall_cycles += (admitted - now).get();
+        let (bank_idx, row) = self.map(addr);
+        let bank = &mut self.banks[bank_idx];
+        let latency = self.config.timing.write_cycles(self.config.cpu_freq);
+        let start = bank.reserve(admitted.get(), latency.get());
+        let done = Cycle::new(start) + latency;
+        if done.get() >= bank.latest_end {
+            bank.latest_end = done.get();
+            bank.open_row = Some(row);
+        }
+        self.stats.writes += 1;
+        self.writes.record(done);
+        if self.pending_writes.len() >= 4 * self.config.write_queue {
+            self.pending_writes.retain(|_, &mut d| d > now);
+        }
+        self.pending_writes.insert(addr, done);
+        done
+    }
+
+    /// The earliest cycle at which every issued command has completed —
+    /// the device-drained condition used at simulation end and at
+    /// crash points (ADR flushes the queues on power failure).
+    pub fn drained_at(&self) -> Cycle {
+        self.banks
+            .iter()
+            .map(|b| Cycle::new(b.latest_end))
+            .fold(Cycle::ZERO, Cycle::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> NvmDevice {
+        // Row-level interleaving keeps the bank/row arithmetic of these
+        // tests easy to reason about.
+        NvmDevice::new(NvmConfig {
+            interleave: crate::Interleave::RowLevel,
+            ..NvmConfig::paper_default()
+        })
+    }
+
+    #[test]
+    fn row_hit_is_cheaper_than_miss() {
+        let mut d = dev();
+        let t1 = d.read(Cycle::ZERO, BlockAddr::new(0));
+        assert_eq!(t1.get(), 290);
+        // Same row (blocks 0..127 share the 8 KB row).
+        let t2 = d.read(t1, BlockAddr::new(1));
+        assert_eq!((t2 - t1).get(), 70);
+        assert_eq!(d.stats().row_hits, 1);
+        assert_eq!(d.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let mut d = dev();
+        // Rows 0 and 1 live in banks 0 and 1: both reads complete at
+        // the row-miss latency with no serialization.
+        let t1 = d.read(Cycle::ZERO, BlockAddr::new(0));
+        let t2 = d.read(Cycle::ZERO, BlockAddr::new(128)); // next row
+        assert_eq!(t1.get(), 290);
+        assert_eq!(t2.get(), 290);
+    }
+
+    #[test]
+    fn same_bank_serializes() {
+        let mut d = dev();
+        // Rows 0 and 16 both map to bank 0 (16 banks).
+        let t1 = d.read(Cycle::ZERO, BlockAddr::new(0));
+        let t2 = d.read(Cycle::ZERO, BlockAddr::new(16 * 128));
+        assert_eq!(t2.get(), 290 + 290, "row conflict must serialize");
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn writes_occupy_banks() {
+        let mut d = dev();
+        let w = d.write(Cycle::ZERO, BlockAddr::new(0));
+        assert_eq!(w.get(), 600);
+        // A read to the same bank waits for write recovery.
+        let r = d.read(Cycle::ZERO, BlockAddr::new(1));
+        assert_eq!(r.get(), 600 + 70); // row already open after write
+    }
+
+    #[test]
+    fn write_queue_throttles() {
+        let mut d = NvmDevice::new(NvmConfig {
+            write_queue: 2,
+            banks: 1,
+            ..NvmConfig::paper_default()
+        });
+        let t1 = d.write(Cycle::ZERO, BlockAddr::new(0));
+        let _t2 = d.write(Cycle::ZERO, BlockAddr::new(1));
+        // Third write must wait for the first to complete before it is
+        // even admitted to the queue.
+        let t3 = d.write(Cycle::ZERO, BlockAddr::new(2));
+        assert!(t3 >= t1 + Cycle::new(600));
+        assert!(d.stats().queue_stall_cycles > 0);
+    }
+
+    #[test]
+    fn repeated_writes_to_one_block_combine() {
+        let mut d = dev();
+        let a = BlockAddr::new(7);
+        let t1 = d.write(Cycle::ZERO, a);
+        // While the first write is still pending, rewrites merge.
+        let t2 = d.write(Cycle::new(10), a);
+        assert_eq!(t2, t1);
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().writes_combined, 1);
+        // After it drains, a new write schedules normally.
+        let t3 = d.write(t1, a);
+        assert!(t3 > t1);
+        assert_eq!(d.stats().writes, 2);
+    }
+
+    #[test]
+    fn block_interleave_spreads_sequential_stream() {
+        let mut d = NvmDevice::new(NvmConfig::paper_default()); // block-level
+        // 16 consecutive blocks land on 16 different banks: all
+        // complete at one write latency instead of serializing.
+        let mut worst = Cycle::ZERO;
+        for i in 0..16 {
+            worst = worst.max(d.write(Cycle::ZERO, BlockAddr::new(i)));
+        }
+        assert_eq!(worst, Cycle::new(600));
+        // The 17th block wraps to bank 0 and waits.
+        assert_eq!(d.write(Cycle::ZERO, BlockAddr::new(16)), Cycle::new(1200));
+    }
+
+    #[test]
+    fn drained_at_tracks_latest() {
+        let mut d = dev();
+        let t = d.write(Cycle::ZERO, BlockAddr::new(0));
+        assert_eq!(d.drained_at(), t);
+        let t2 = d.write(Cycle::ZERO, BlockAddr::new(5000));
+        assert_eq!(d.drained_at(), t.max(t2));
+    }
+
+    #[test]
+    fn stats_count_commands() {
+        let mut d = dev();
+        d.read(Cycle::ZERO, BlockAddr::new(0));
+        d.write(Cycle::ZERO, BlockAddr::new(0));
+        d.write(Cycle::ZERO, BlockAddr::new(1));
+        let s = d.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! The non-volatile main memory device model.
+//!
+//! Two halves, mirroring how the paper's evaluation treats memory:
+//!
+//! * [`NvmDevice`] — *timing*: banks with row buffers, Table III PCM
+//!   parameters (tRCD/tXAW/tBURST/tWR/tRFC/tCL = 55/50/5/150/5/12.5 ns),
+//!   64-entry read and 128-entry write queues with admission
+//!   back-pressure, completions expressed in CPU cycles at 4 GHz;
+//! * [`Medium`] — *contents*: a sparse functional store so the
+//!   crash-recovery machinery can snapshot exactly what was durable.
+//!
+//! # Example
+//!
+//! ```
+//! use plp_events::{addr::BlockAddr, Cycle};
+//! use plp_nvm::{Medium, NvmConfig, NvmDevice};
+//!
+//! let mut timing = NvmDevice::new(NvmConfig::paper_default());
+//! let mut contents: Medium<u64> = Medium::new();
+//!
+//! let addr = BlockAddr::new(42);
+//! let durable_at = timing.write(Cycle::ZERO, addr);
+//! contents.write(addr, 7);
+//! assert!(durable_at > Cycle::ZERO);
+//! assert_eq!(contents.read(addr), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod medium;
+mod timing;
+
+pub use device::{NvmDevice, NvmStats};
+pub use medium::Medium;
+pub use timing::{Interleave, NvmConfig, NvmTiming};

@@ -1,0 +1,132 @@
+//! The sparse functional storage medium.
+
+use std::collections::HashMap;
+
+use plp_events::addr::BlockAddr;
+use serde::{Deserialize, Serialize};
+
+/// A sparse functional store mapping block addresses to values of type
+/// `V` — the *contents* half of the NVM device (the timing half is
+/// [`crate::NvmDevice`]).
+///
+/// Reads of never-written blocks return `V::default()`, modelling
+/// zero-initialized (or fresh-metadata) memory. The crash-recovery
+/// machinery clones media to capture persisted images.
+///
+/// # Example
+///
+/// ```
+/// use plp_events::addr::BlockAddr;
+/// use plp_nvm::Medium;
+///
+/// let mut m: Medium<u64> = Medium::new();
+/// let a = BlockAddr::new(9);
+/// assert_eq!(m.read(a), 0);
+/// m.write(a, 42);
+/// assert_eq!(m.read(a), 42);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Medium<V> {
+    cells: HashMap<BlockAddr, V>,
+}
+
+impl<V: Default + Clone> Medium<V> {
+    /// Creates an empty (all-default) medium.
+    pub fn new() -> Self {
+        Medium {
+            cells: HashMap::new(),
+        }
+    }
+
+    /// Reads the value at `addr` (default if never written).
+    pub fn read(&self, addr: BlockAddr) -> V {
+        self.cells.get(&addr).cloned().unwrap_or_default()
+    }
+
+    /// Returns a reference to the value at `addr`, if it was ever
+    /// written.
+    pub fn get(&self, addr: BlockAddr) -> Option<&V> {
+        self.cells.get(&addr)
+    }
+
+    /// Writes `value` at `addr`.
+    pub fn write(&mut self, addr: BlockAddr, value: V) {
+        self.cells.insert(addr, value);
+    }
+
+    /// Number of explicitly written blocks.
+    pub fn written_blocks(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterates over all written blocks.
+    pub fn iter(&self) -> impl Iterator<Item = (&BlockAddr, &V)> {
+        self.cells.iter()
+    }
+}
+
+impl<V: Default + Clone> Default for Medium<V> {
+    fn default() -> Self {
+        Medium::new()
+    }
+}
+
+impl<V: Default + Clone> FromIterator<(BlockAddr, V)> for Medium<V> {
+    fn from_iter<I: IntoIterator<Item = (BlockAddr, V)>>(iter: I) -> Self {
+        Medium {
+            cells: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<V: Default + Clone> Extend<(BlockAddr, V)> for Medium<V> {
+    fn extend<I: IntoIterator<Item = (BlockAddr, V)>>(&mut self, iter: I) {
+        self.cells.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_default() {
+        let m: Medium<u32> = Medium::default();
+        assert_eq!(m.read(BlockAddr::new(1)), 0);
+        assert_eq!(m.get(BlockAddr::new(1)), None);
+        assert_eq!(m.written_blocks(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = Medium::new();
+        m.write(BlockAddr::new(7), "hello".to_string());
+        assert_eq!(m.read(BlockAddr::new(7)), "hello");
+        assert_eq!(m.written_blocks(), 1);
+        m.write(BlockAddr::new(7), "world".to_string());
+        assert_eq!(m.read(BlockAddr::new(7)), "world");
+        assert_eq!(m.written_blocks(), 1);
+    }
+
+    #[test]
+    fn clone_snapshots() {
+        let mut m = Medium::new();
+        m.write(BlockAddr::new(1), 10u64);
+        let snap = m.clone();
+        m.write(BlockAddr::new(1), 20);
+        assert_eq!(snap.read(BlockAddr::new(1)), 10);
+        assert_eq!(m.read(BlockAddr::new(1)), 20);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut m: Medium<u8> = [(BlockAddr::new(0), 1), (BlockAddr::new(1), 2)]
+            .into_iter()
+            .collect();
+        m.extend([(BlockAddr::new(2), 3)]);
+        assert_eq!(m.written_blocks(), 3);
+        let mut all: Vec<_> = m.iter().map(|(a, v)| (a.index(), *v)).collect();
+        all.sort();
+        assert_eq!(all, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+}

@@ -1,0 +1,153 @@
+//! NVM timing parameters (Table III of the paper).
+
+use plp_events::{Cycle, Freq};
+use serde::{Deserialize, Serialize};
+
+/// Device timing parameters, in nanoseconds as datasheets (and the
+/// paper's Table III) specify them.
+///
+/// # Example
+///
+/// ```
+/// use plp_nvm::NvmTiming;
+/// use plp_events::Freq;
+///
+/// let t = NvmTiming::paper_default();
+/// let cpu = Freq::ghz(4.0);
+/// // A row-miss read costs tRCD + tCL + tBURST.
+/// assert_eq!(t.read_row_miss_cycles(cpu).get(), 290);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NvmTiming {
+    /// Row-to-column delay (activate), ns.
+    pub t_rcd_ns: f64,
+    /// Four-activation window, ns (throttles activates).
+    pub t_xaw_ns: f64,
+    /// Data burst time, ns.
+    pub t_burst_ns: f64,
+    /// Write recovery (PCM write service), ns.
+    pub t_wr_ns: f64,
+    /// Refresh (negligible for PCM), ns.
+    pub t_rfc_ns: f64,
+    /// CAS latency, ns.
+    pub t_cl_ns: f64,
+}
+
+impl NvmTiming {
+    /// Table III: tRCD/tXAW/tBURST/tWR/tRFC/tCL =
+    /// 55/50/5/150/5/12.5 ns.
+    pub fn paper_default() -> Self {
+        NvmTiming {
+            t_rcd_ns: 55.0,
+            t_xaw_ns: 50.0,
+            t_burst_ns: 5.0,
+            t_wr_ns: 150.0,
+            t_rfc_ns: 5.0,
+            t_cl_ns: 12.5,
+        }
+    }
+
+    /// Read latency when the row buffer misses: activate + CAS + burst.
+    pub fn read_row_miss_cycles(&self, cpu: Freq) -> Cycle {
+        cpu.cycles_for_ns(self.t_rcd_ns + self.t_cl_ns + self.t_burst_ns)
+    }
+
+    /// Read latency when the row buffer hits: CAS + burst.
+    pub fn read_row_hit_cycles(&self, cpu: Freq) -> Cycle {
+        cpu.cycles_for_ns(self.t_cl_ns + self.t_burst_ns)
+    }
+
+    /// Write service time occupying the bank (write recovery).
+    pub fn write_cycles(&self, cpu: Freq) -> Cycle {
+        cpu.cycles_for_ns(self.t_wr_ns)
+    }
+}
+
+impl Default for NvmTiming {
+    fn default() -> Self {
+        NvmTiming::paper_default()
+    }
+}
+
+/// How block addresses map to banks.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Interleave {
+    /// Consecutive 64-byte blocks rotate across banks (cache-line
+    /// interleaving). Spatially local store streams spread over all
+    /// banks, which is what makes write-through persistency viable at
+    /// all — the paper's evaluation implicitly assumes this (its SP
+    /// bottleneck is the BMT walk, not a single PCM bank).
+    #[default]
+    BlockLevel,
+    /// A whole row lives in one bank (row interleaving): maximizes row
+    /// buffer hits for sequential reads but serializes local write
+    /// streams on one bank.
+    RowLevel,
+}
+
+/// Overall device configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NvmConfig {
+    /// Device capacity in bytes (Table III: 8 GB).
+    pub capacity_bytes: u64,
+    /// Number of banks.
+    pub banks: usize,
+    /// Row-buffer size in bytes.
+    pub row_bytes: u64,
+    /// Read queue capacity (Table III: 64).
+    pub read_queue: usize,
+    /// Write queue capacity (Table III: 128).
+    pub write_queue: usize,
+    /// Timing parameters.
+    pub timing: NvmTiming,
+    /// CPU frequency used to express completions in CPU cycles.
+    pub cpu_freq: Freq,
+    /// Address-to-bank mapping.
+    pub interleave: Interleave,
+}
+
+impl NvmConfig {
+    /// The paper's device: 8 GB, 16 banks, 8 KB rows, 64/128-entry
+    /// read/write queues, Table III timings, 4 GHz CPU clock domain.
+    pub fn paper_default() -> Self {
+        NvmConfig {
+            capacity_bytes: 8 << 30,
+            banks: 16,
+            row_bytes: 8 << 10,
+            read_queue: 64,
+            write_queue: 128,
+            timing: NvmTiming::paper_default(),
+            cpu_freq: Freq::ghz(4.0),
+            interleave: Interleave::BlockLevel,
+        }
+    }
+}
+
+impl Default for NvmConfig {
+    fn default() -> Self {
+        NvmConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_latencies_at_4ghz() {
+        let t = NvmTiming::paper_default();
+        let cpu = Freq::ghz(4.0);
+        assert_eq!(t.read_row_miss_cycles(cpu).get(), 290); // 72.5 ns
+        assert_eq!(t.read_row_hit_cycles(cpu).get(), 70); // 17.5 ns
+        assert_eq!(t.write_cycles(cpu).get(), 600); // 150 ns
+    }
+
+    #[test]
+    fn default_config_matches_table3() {
+        let c = NvmConfig::default();
+        assert_eq!(c.capacity_bytes, 8 << 30);
+        assert_eq!(c.read_queue, 64);
+        assert_eq!(c.write_queue, 128);
+        assert_eq!(c.timing, NvmTiming::default());
+    }
+}

@@ -1,0 +1,216 @@
+//! A compact binary on-disk format for traces.
+//!
+//! Traces are deterministic given `(profile, seed)`, but persisting
+//! them lets experiments be re-run byte-identically across versions of
+//! the generator, exchanged between machines, or produced by external
+//! tools (e.g. a real PIN/Valgrind pipeline feeding this simulator).
+//!
+//! Format (all little-endian):
+//!
+//! ```text
+//! magic   "PLPT"            4 bytes
+//! version u32               currently 1
+//! count   u64               number of events
+//! events  count × { gap: u32, kind: u8, addr: u64 }
+//! ```
+//!
+//! `kind` is 0 = load, 1 = heap store, 2 = stack store.
+
+use std::io::{self, Read, Write};
+
+use plp_events::addr::BlockAddr;
+
+use crate::{Op, Trace, TraceEvent};
+
+const MAGIC: &[u8; 4] = b"PLPT";
+const VERSION: u32 = 1;
+
+const KIND_LOAD: u8 = 0;
+const KIND_STORE: u8 = 1;
+const KIND_STACK_STORE: u8 = 2;
+
+/// Serializes a trace.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`. A `&mut Vec<u8>` never fails.
+///
+/// # Example
+///
+/// ```
+/// use plp_trace::{codec, spec, TraceGenerator};
+///
+/// let trace = TraceGenerator::new(spec::benchmark("milc").unwrap(), 1).generate(1_000);
+/// let mut bytes = Vec::new();
+/// codec::write_trace(&trace, &mut bytes)?;
+/// assert_eq!(codec::read_trace(&bytes[..])?, trace);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(trace.op_count() as u64).to_le_bytes())?;
+    for ev in trace {
+        w.write_all(&ev.gap_instructions.to_le_bytes())?;
+        let (kind, addr) = match ev.op {
+            Op::Load { addr } => (KIND_LOAD, addr),
+            Op::Store { addr, stack: false } => (KIND_STORE, addr),
+            Op::Store { addr, stack: true } => (KIND_STACK_STORE, addr),
+        };
+        w.write_all(&[kind])?;
+        w.write_all(&addr.index().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserializes a trace written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic, unsupported version or
+/// unknown event kind, and `UnexpectedEof` on truncation.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a PLP trace file (bad magic)",
+        ));
+    }
+    let mut buf4 = [0u8; 4];
+    r.read_exact(&mut buf4)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let count = u64::from_le_bytes(buf8);
+    let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        r.read_exact(&mut buf4)?;
+        let gap_instructions = u32::from_le_bytes(buf4);
+        let mut kind = [0u8; 1];
+        r.read_exact(&mut kind)?;
+        r.read_exact(&mut buf8)?;
+        let addr = BlockAddr::new(u64::from_le_bytes(buf8));
+        let op = match kind[0] {
+            KIND_LOAD => Op::Load { addr },
+            KIND_STORE => Op::Store { addr, stack: false },
+            KIND_STACK_STORE => Op::Store { addr, stack: true },
+            k => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown event kind {k}"),
+                ))
+            }
+        };
+        events.push(TraceEvent {
+            gap_instructions,
+            op,
+        });
+    }
+    Ok(Trace::new(events))
+}
+
+/// Writes a trace to a file path.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_trace(trace: &Trace, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_trace(trace, io::BufWriter::new(file))
+}
+
+/// Reads a trace from a file path.
+///
+/// # Errors
+///
+/// Propagates file-open and decode errors.
+pub fn load_trace(path: impl AsRef<std::path::Path>) -> io::Result<Trace> {
+    let file = std::fs::File::open(path)?;
+    read_trace(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{spec, TraceGenerator};
+
+    fn sample() -> Trace {
+        TraceGenerator::new(spec::benchmark("gcc").unwrap(), 11).generate(5_000)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let trace = sample();
+        let mut bytes = Vec::new();
+        write_trace(&trace, &mut bytes).unwrap();
+        let back = read_trace(&bytes[..]).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.total_instructions(), trace.total_instructions());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace::new(Vec::new());
+        let mut bytes = Vec::new();
+        write_trace(&trace, &mut bytes).unwrap();
+        assert_eq!(read_trace(&bytes[..]).unwrap(), trace);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"PLPT");
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_trace(&bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let trace = sample();
+        let mut bytes = Vec::new();
+        write_trace(&trace, &mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        let err = read_trace(&bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"PLPT");
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.push(77); // bogus kind
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_trace(&bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let trace = sample();
+        let dir = std::env::temp_dir().join(format!("plp-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.plpt");
+        save_trace(&trace, &path).unwrap();
+        assert_eq!(load_trace(&path).unwrap(), trace);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

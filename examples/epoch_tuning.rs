@@ -1,0 +1,71 @@
+//! Epoch-size tuning: the Fig. 11 / Fig. 12 trade-off as a user-facing
+//! workflow.
+//!
+//! Larger epochs let more stores coalesce in the cache before the
+//! flush (fewer persists), but very large epochs batch the write
+//! traffic into bursts that queue at the memory controller. This
+//! example sweeps the epoch size for one workload and reports both
+//! PPKI and runtime so the knee is visible.
+//!
+//! ```text
+//! cargo run --release --example epoch_tuning
+//! ```
+
+use plp::core::{run_benchmark, SystemConfig, UpdateScheme};
+use plp::trace::spec;
+
+fn main() {
+    let profile = spec::benchmark("gamess").expect("known benchmark");
+    let instructions = 300_000;
+
+    let baseline = run_benchmark(
+        &profile,
+        &SystemConfig::for_scheme(UpdateScheme::SecureWb),
+        instructions,
+        11,
+    );
+
+    println!(
+        "epoch-size sweep for {} under the coalescing scheme",
+        profile.name
+    );
+    println!();
+    println!(
+        "{:>6} {:>8} {:>8} {:>9} {:>12}",
+        "epoch", "ppki", "norm", "epochs", "wpq-stall"
+    );
+    let mut best = (0usize, f64::INFINITY);
+    for epoch in [4usize, 8, 16, 32, 64, 128, 256] {
+        let mut cfg = SystemConfig::for_scheme(UpdateScheme::Coalescing);
+        cfg.epoch_size = epoch;
+        let r = run_benchmark(&profile, &cfg, instructions, 11);
+        let norm = r.normalized_to(&baseline);
+        if norm < best.1 {
+            best = (epoch, norm);
+        }
+        println!(
+            "{:>6} {:>8.2} {:>8.3} {:>9} {:>12}",
+            epoch,
+            r.persist_ppki(),
+            norm,
+            r.epochs,
+            r.wpq_stall_cycles
+        );
+    }
+    println!();
+    if best.0 < 256 {
+        println!(
+            "PPKI falls monotonically with epoch size, but runtime does not:\n\
+             the sweet spot here is epoch {} ({:.3}x baseline). The paper makes\n\
+             the same observation at epoch 128 vs 256 for gamess/milc/zeusmp.",
+            best.0, best.1
+        );
+    } else {
+        println!(
+            "PPKI falls monotonically with epoch size; note the WPQ stall\n\
+             column exploding at large epochs — the write-traffic batching\n\
+             that eventually turns runtime back up (the paper sees the\n\
+             upturn at epoch 256 for gamess/milc/zeusmp on full-length runs)."
+        );
+    }
+}

@@ -2,9 +2,11 @@
 
 use plp_bmt::BmtGeometry;
 use plp_crypto::SipKey;
-use plp_nvm::NvmConfig;
 use plp_events::Cycle;
+use plp_nvm::NvmConfig;
 use serde::{Deserialize, Serialize};
+
+use crate::ConfigError;
 
 /// Which BMT update mechanism the security engine uses — the six
 /// schemes of Table IV.
@@ -184,24 +186,27 @@ impl SystemConfig {
         }
     }
 
-    /// Validates cross-field constraints.
+    /// Validates cross-field constraints, including the embedded NVM
+    /// device configuration.
     ///
     /// # Errors
     ///
-    /// Returns a message describing the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a typed
+    /// [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.epoch_size == 0 {
-            return Err("epoch size must be at least 1 store".into());
+            return Err(ConfigError::EpochSizeZero);
         }
-        if self.wpq_entries == 0 || self.ptt_entries == 0 {
-            return Err("WPQ and PTT must have at least one entry".into());
+        if self.wpq_entries == 0 {
+            return Err(ConfigError::EmptyTable { table: "WPQ" });
+        }
+        if self.ptt_entries == 0 {
+            return Err(ConfigError::EmptyTable { table: "PTT" });
         }
         if self.ett_entries == 0 {
-            return Err("ETT must allow at least one concurrent epoch".into());
+            return Err(ConfigError::EmptyTable { table: "ETT" });
         }
-        if self.scheme.is_epoch_based() && self.ett_entries < 1 {
-            return Err("epoch schemes need an ETT".into());
-        }
+        self.nvm.validate()?;
         Ok(())
     }
 }
@@ -250,16 +255,26 @@ mod tests {
             epoch_size: 0,
             ..SystemConfig::default()
         };
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::EpochSizeZero));
         let c = SystemConfig {
             wpq_entries: 0,
             ..SystemConfig::default()
         };
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::EmptyTable { table: "WPQ" }));
         let c = SystemConfig {
             ett_entries: 0,
             ..SystemConfig::default()
         };
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::EmptyTable { table: "ETT" }));
+    }
+
+    #[test]
+    fn validation_covers_the_nvm_device() {
+        let mut c = SystemConfig::default();
+        c.nvm.banks = 0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::Nvm(plp_nvm::NvmError::ZeroBanks))
+        ));
     }
 }

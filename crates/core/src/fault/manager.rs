@@ -1,0 +1,503 @@
+//! Active recovery: repair what can be repaired, quarantine what
+//! cannot, and say honestly which one happened.
+//!
+//! The passive [`RecoveryChecker`](crate::RecoveryChecker) only
+//! *classifies* a crash image against Tables I and II. The
+//! [`RecoveryManager`] goes further, the way a real secure-memory
+//! controller must after power returns:
+//!
+//! 1. rebuild the BMT from the persisted counters;
+//! 2. if the persisted root disagrees, search the recorded root-update
+//!    sequence for a prefix the persisted root matches — a match means
+//!    the root merely *lagged* the counters (or vice versa) and the
+//!    rebuilt root can be adopted; no match marks the root itself
+//!    suspect (e.g. a flipped root bit), and the rebuilt root is still
+//!    adopted because the per-block MACs — which bind the counters, not
+//!    the root — arbitrate safety block by block;
+//! 3. re-verify every expected block's stateful MAC: verified blocks
+//!    whose plaintext matches are salvaged, failed MACs are quarantined
+//!    (detected loss), verified-but-unexpected plaintexts are split
+//!    into authentic-but-stale versions and silent garbage.
+
+use std::collections::HashMap;
+
+use plp_bmt::{BmtGeometry, BonsaiTree, NodeValue};
+use plp_crypto::{CtrEngine, DataBlock, MacEngine, SipKey};
+use plp_events::addr::BlockAddr;
+use plp_events::Cycle;
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    ObserverExpectation, PersistImage, PersistRecord, RecoveryCost, SystemConfig,
+};
+
+use super::{BlockFate, FaultVerdict};
+
+/// What the manager concluded about the persisted root register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RootStatus {
+    /// The persisted root matches the root rebuilt from the persisted
+    /// counters — nothing to repair.
+    Intact,
+    /// The persisted root matches a prefix of the recorded root-update
+    /// sequence: root and counters got out of step across the crash,
+    /// but both are legitimate states. The rebuilt root is adopted.
+    Lagged {
+        /// How many recorded root updates the persisted root is behind
+        /// the full sequence (0 means the root is current and the
+        /// *counters* rolled back).
+        updates_behind: usize,
+    },
+    /// The persisted root matches no legitimate prefix — the register
+    /// itself is damaged. The rebuilt root is adopted and the per-block
+    /// MACs decide what survives.
+    Suspect,
+}
+
+impl RootStatus {
+    /// Whether the root needed repair at all.
+    pub fn needed_repair(self) -> bool {
+        !matches!(self, RootStatus::Intact)
+    }
+}
+
+/// A typed recovery failure, attached to the outcome when the root
+/// could not be matched to any legitimate state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryError {
+    /// The persisted root is neither the rebuilt root nor any recorded
+    /// prefix root.
+    RootMismatch {
+        /// What the medium held.
+        persisted: NodeValue,
+        /// What the counters hash to (and what was adopted).
+        rebuilt: NodeValue,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::RootMismatch { persisted, rebuilt } => write!(
+                f,
+                "persisted root {persisted:#x} matches no recorded state; adopted rebuilt root {rebuilt:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Everything one recovery attempt produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryOutcome {
+    /// What happened to the root register.
+    pub root: RootStatus,
+    /// The typed error when the root was unmatchable.
+    pub root_error: Option<RecoveryError>,
+    /// The root the recovered system continues with (always the one
+    /// rebuilt from persisted counters).
+    pub adopted_root: NodeValue,
+    /// Per expected block, what recovery did with it (sorted by
+    /// address).
+    pub fates: Vec<(BlockAddr, BlockFate)>,
+    /// Modeled recovery latency in cycles: counter fetch + tree
+    /// rebuild + prefix search + MAC re-verification, pipelined.
+    pub recovery_cycles: u64,
+}
+
+impl RecoveryOutcome {
+    /// Blocks with the given fate.
+    pub fn count(&self, fate: BlockFate) -> usize {
+        self.fates.iter().filter(|(_, f)| *f == fate).count()
+    }
+
+    /// The addresses recovery fenced off as damaged.
+    pub fn quarantined(&self) -> Vec<BlockAddr> {
+        self.fates
+            .iter()
+            .filter(|(_, f)| *f == BlockFate::Quarantined)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// The single verdict for this attempt, worst evidence winning.
+    pub fn verdict(&self) -> FaultVerdict {
+        if self.count(BlockFate::SilentGarbage) > 0 {
+            FaultVerdict::UndetectedCorruption
+        } else if self.count(BlockFate::StaleAuthentic) > 0 {
+            FaultVerdict::StaleRollback
+        } else if self.count(BlockFate::Quarantined) > 0 {
+            FaultVerdict::DetectedLoss
+        } else if self.root.needed_repair() {
+            FaultVerdict::Repaired
+        } else {
+            FaultVerdict::Clean
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} salvaged, {} quarantined, {} stale, {} garbage (root {:?}, {} cycles)",
+            self.verdict(),
+            self.count(BlockFate::Salvaged),
+            self.count(BlockFate::Quarantined),
+            self.count(BlockFate::StaleAuthentic),
+            self.count(BlockFate::SilentGarbage),
+            self.root,
+            self.recovery_cycles
+        )
+    }
+}
+
+/// The repairing recovery engine.
+#[derive(Debug, Clone)]
+pub struct RecoveryManager {
+    geometry: BmtGeometry,
+    key: SipKey,
+    ctr: CtrEngine,
+    mac: MacEngine,
+    mac_latency: u64,
+}
+
+impl RecoveryManager {
+    /// Creates a manager for the given tree shape, master key and
+    /// MAC-unit latency (the latency only feeds the cycle model).
+    pub fn new(geometry: BmtGeometry, key: SipKey, mac_latency: Cycle) -> Self {
+        RecoveryManager {
+            geometry,
+            key,
+            ctr: CtrEngine::new(key),
+            mac: MacEngine::new(key),
+            mac_latency: mac_latency.get(),
+        }
+    }
+
+    /// A manager matching a system configuration.
+    pub fn for_config(config: &SystemConfig) -> Self {
+        RecoveryManager::new(config.bmt, config.key, config.mac_latency)
+    }
+
+    /// Attempts repair of a crash image.
+    ///
+    /// `records` is the run's persist history: it provides the
+    /// legitimate root-update sequence for the prefix search and the
+    /// set of plaintexts the program ever wrote (to tell an authentic
+    /// stale version from silent garbage). `expected` is what the
+    /// program believes is durable.
+    pub fn recover(
+        &self,
+        image: &PersistImage,
+        records: &[PersistRecord],
+        expected: &ObserverExpectation,
+    ) -> RecoveryOutcome {
+        // Step 1: rebuild the tree the counters imply.
+        let rebuilt = BonsaiTree::from_counters(
+            self.geometry,
+            self.key,
+            image.counters.iter().map(|(p, c)| (*p, c)),
+        );
+        let adopted_root = rebuilt.root();
+
+        // Step 2: root triage (and its share of the cycle model).
+        let mut prefix_updates = 0u64;
+        let (root, root_error) = if adopted_root == image.root {
+            (RootStatus::Intact, None)
+        } else {
+            match self.match_root_prefix(image.root, records) {
+                Some((behind, scanned)) => {
+                    prefix_updates = scanned;
+                    (RootStatus::Lagged { updates_behind: behind }, None)
+                }
+                None => {
+                    prefix_updates = records.len() as u64;
+                    (
+                        RootStatus::Suspect,
+                        Some(RecoveryError::RootMismatch {
+                            persisted: image.root,
+                            rebuilt: adopted_root,
+                        }),
+                    )
+                }
+            }
+        };
+
+        // Step 3: per-block triage. A verified MAC proves the
+        // (ciphertext, address, counter) triple is one the engine
+        // produced; the plaintext history then separates "the version
+        // we wanted" from "an older authentic version".
+        let history = plaintext_history(records);
+        let mut addrs: Vec<BlockAddr> = expected.plaintexts.keys().copied().collect();
+        addrs.sort();
+        let mut fates = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let expected_plain = expected.plaintexts[&addr];
+            let cipher = image.data.get(&addr).copied().unwrap_or_default();
+            let counter = image
+                .counters
+                .get(&addr.page().index())
+                .cloned()
+                .unwrap_or_default()
+                .value_for(addr);
+            let mac = image.macs.get(&addr).copied().unwrap_or_default();
+            let fate = if !self.mac.verify(&cipher, addr, counter, mac) {
+                BlockFate::Quarantined
+            } else {
+                let plain = self.ctr.decrypt(cipher, addr, counter);
+                if plain == expected_plain {
+                    BlockFate::Salvaged
+                } else if history
+                    .get(&addr)
+                    .is_some_and(|versions| versions.contains(&plain))
+                {
+                    BlockFate::StaleAuthentic
+                } else {
+                    BlockFate::SilentGarbage
+                }
+            };
+            fates.push((addr, fate));
+        }
+
+        // Cycle model: the checker's cost plus one tree-path recompute
+        // per prefix-search step.
+        let cost = RecoveryCost {
+            counter_blocks: image.counters.len() as u64,
+            hash_computations: rebuilt.populated_nodes() as u64
+                + prefix_updates * self.geometry.levels() as u64,
+            mac_verifications: expected.plaintexts.len() as u64,
+        };
+        RecoveryOutcome {
+            root,
+            root_error,
+            adopted_root,
+            fates,
+            recovery_cycles: cost.estimated_cycles(self.mac_latency),
+        }
+    }
+
+    /// Searches the recorded root-update sequence (in root-persist
+    /// order) for a prefix whose root equals `persisted`, preferring
+    /// the longest match. Returns `(updates_behind, updates_scanned)`.
+    fn match_root_prefix(
+        &self,
+        persisted: NodeValue,
+        records: &[PersistRecord],
+    ) -> Option<(usize, u64)> {
+        let mut sorted: Vec<&PersistRecord> = records
+            .iter()
+            .filter(|r| r.times.root < Cycle::MAX)
+            .collect();
+        sorted.sort_by_key(|r| r.times.root);
+        let mut tree = BonsaiTree::new(self.geometry, self.key);
+        let mut prefix_roots = Vec::with_capacity(sorted.len() + 1);
+        prefix_roots.push(tree.root()); // the empty prefix
+        for r in &sorted {
+            tree.update_leaf(r.addr.page().index(), &r.counters_after);
+            prefix_roots.push(tree.root());
+        }
+        let total = sorted.len();
+        prefix_roots
+            .iter()
+            .rposition(|root| *root == persisted)
+            .map(|i| (total - i, total as u64))
+    }
+}
+
+/// Every plaintext the program ever wrote to each address — the set of
+/// "authentic versions" that distinguishes a rollback from garbage.
+fn plaintext_history(records: &[PersistRecord]) -> HashMap<BlockAddr, Vec<DataBlock>> {
+    let mut history: HashMap<BlockAddr, Vec<DataBlock>> = HashMap::new();
+    for r in records {
+        history.entry(r.addr).or_default().push(r.plaintext);
+    }
+    // The pre-write medium (all zeroes) is also an authentic state.
+    for versions in history.values_mut() {
+        versions.push(DataBlock::zeroed());
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultInjector;
+    use crate::{with_component_lost, EpochId, PersistId, TupleComponent, TupleTimes};
+    use plp_crypto::CounterBlock;
+
+    fn key() -> SipKey {
+        SipKey::new(1, 2)
+    }
+
+    fn geometry() -> BmtGeometry {
+        BmtGeometry::new(8, 4)
+    }
+
+    fn manager() -> RecoveryManager {
+        RecoveryManager::new(geometry(), key(), Cycle::new(40))
+    }
+
+    fn make_records(n: u64) -> Vec<PersistRecord> {
+        let ctr_engine = CtrEngine::new(key());
+        let mac_engine = MacEngine::new(key());
+        let mut counters: HashMap<u64, CounterBlock> = HashMap::new();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let addr = BlockAddr::new((i % 3) * 64); // revisit 3 pages
+            let page = addr.page().index();
+            let cb = counters.entry(page).or_default();
+            let gamma = cb.bump(addr.slot_in_page()).value();
+            let plaintext = DataBlock::from_u64(0x1000 + i);
+            let ciphertext = ctr_engine.encrypt(plaintext, addr, gamma);
+            let mac = mac_engine.compute(&ciphertext, addr, gamma);
+            out.push(PersistRecord {
+                id: PersistId(i),
+                epoch: EpochId(0),
+                addr,
+                plaintext,
+                ciphertext,
+                counters_after: cb.clone(),
+                mac,
+                issued_at: Cycle::new(i * 100),
+                times: TupleTimes::atomic(Cycle::new(i * 100 + 360)),
+            });
+        }
+        out
+    }
+
+    fn recover_at(records: &[PersistRecord], t: Cycle) -> RecoveryOutcome {
+        let image = PersistImage::at_time(records, t, geometry(), key());
+        let expected = ObserverExpectation::at_time(records, t);
+        manager().recover(&image, records, &expected)
+    }
+
+    #[test]
+    fn clean_crash_is_clean_at_every_point() {
+        let records = make_records(6);
+        for t in [0u64, 360, 400, 760, 1_000_000] {
+            let outcome = recover_at(&records, Cycle::new(t));
+            assert_eq!(outcome.verdict(), FaultVerdict::Clean, "at {t}: {outcome}");
+            assert_eq!(outcome.root, RootStatus::Intact);
+            assert_eq!(outcome.count(BlockFate::Quarantined), 0);
+        }
+    }
+
+    #[test]
+    fn lagged_root_is_repaired_not_failed() {
+        // The last persist's root update never landed, but its counter,
+        // data and MAC did: the passive checker reports bmt_failure,
+        // the manager matches the persisted root to the shorter prefix
+        // and adopts the rebuilt root.
+        let records = make_records(4);
+        let faulty = with_component_lost(&records, 3, TupleComponent::Root);
+        let t = Cycle::new(1_000_000);
+        let image = PersistImage::at_time(&faulty, t, geometry(), key());
+        let expected = ObserverExpectation::at_time(&records, t);
+        let outcome = manager().recover(&image, &records, &expected);
+        assert_eq!(
+            outcome.root,
+            RootStatus::Lagged { updates_behind: 1 },
+            "{outcome}"
+        );
+        assert_eq!(outcome.verdict(), FaultVerdict::Repaired);
+        assert_eq!(outcome.count(BlockFate::Salvaged), expected.plaintexts.len());
+        assert!(outcome.root_error.is_none());
+        // The adopted root reflects the full counter state.
+        let full = PersistImage::at_time(&records, t, geometry(), key());
+        assert_eq!(outcome.adopted_root, full.root);
+    }
+
+    #[test]
+    fn flipped_root_bit_is_suspect_and_repaired() {
+        let records = make_records(4);
+        let t = Cycle::new(1_000_000);
+        let mut image = PersistImage::at_time(&records, t, geometry(), key());
+        image.root ^= 1 << 17;
+        let expected = ObserverExpectation::at_time(&records, t);
+        let outcome = manager().recover(&image, &records, &expected);
+        assert_eq!(outcome.root, RootStatus::Suspect);
+        assert!(matches!(
+            outcome.root_error,
+            Some(RecoveryError::RootMismatch { .. })
+        ));
+        assert_eq!(outcome.verdict(), FaultVerdict::Repaired, "{outcome}");
+        let err = outcome.root_error.unwrap();
+        assert!(err.to_string().contains("adopted"));
+    }
+
+    #[test]
+    fn torn_data_write_is_quarantined() {
+        let records = make_records(6);
+        let t = Cycle::new(1_000_000);
+        let mut image = PersistImage::at_time(&records, t, geometry(), key());
+        let expected = ObserverExpectation::at_time(&records, t);
+        let spec = FaultInjector::new(13)
+            .torn_write_component(&mut image, &records, t, TupleComponent::Ciphertext)
+            .expect("tearable data");
+        let outcome = manager().recover(&image, &records, &expected);
+        assert_eq!(
+            outcome.verdict(),
+            FaultVerdict::DetectedLoss,
+            "{spec}: {outcome}"
+        );
+        assert_eq!(outcome.count(BlockFate::Quarantined), 1);
+        assert_eq!(outcome.count(BlockFate::SilentGarbage), 0);
+    }
+
+    #[test]
+    fn dropped_acknowledged_persist_is_stale_rollback() {
+        // Drop the LAST persist entirely: the medium is a perfectly
+        // consistent older state, so nothing can detect it — the
+        // verdict must say so rather than pretend recovery succeeded.
+        let records = make_records(4);
+        let t = Cycle::new(1_000_000);
+        let thinned: Vec<PersistRecord> = records[..3].to_vec();
+        let image = PersistImage::at_time(&thinned, t, geometry(), key());
+        let expected = ObserverExpectation::at_time(&records, t);
+        let outcome = manager().recover(&image, &records, &expected);
+        assert_eq!(outcome.root, RootStatus::Intact, "old state is consistent");
+        assert_eq!(outcome.verdict(), FaultVerdict::StaleRollback, "{outcome}");
+        assert_eq!(outcome.count(BlockFate::StaleAuthentic), 1);
+    }
+
+    #[test]
+    fn garbage_that_fails_mac_is_detected_loss_never_silent() {
+        let records = make_records(6);
+        let t = Cycle::new(1_000_000);
+        let mut image = PersistImage::at_time(&records, t, geometry(), key());
+        let expected = ObserverExpectation::at_time(&records, t);
+        // Overwrite a ciphertext with junk the engine never produced.
+        let addr = records[0].addr;
+        image.data.insert(addr, DataBlock::from_u64(0xBAD_F00D));
+        let outcome = manager().recover(&image, &records, &expected);
+        assert_eq!(outcome.verdict(), FaultVerdict::DetectedLoss);
+        assert_eq!(outcome.quarantined(), vec![addr]);
+    }
+
+    #[test]
+    fn recovery_cycles_grow_with_prefix_search() {
+        let records = make_records(6);
+        let t = Cycle::new(1_000_000);
+        let clean = recover_at(&records, t);
+        let faulty = with_component_lost(&records, 5, TupleComponent::Root);
+        let image = PersistImage::at_time(&faulty, t, geometry(), key());
+        let expected = ObserverExpectation::at_time(&records, t);
+        let lagged = manager().recover(&image, &records, &expected);
+        assert!(
+            lagged.recovery_cycles > clean.recovery_cycles,
+            "prefix search must cost cycles: {} vs {}",
+            lagged.recovery_cycles,
+            clean.recovery_cycles
+        );
+    }
+
+    #[test]
+    fn for_config_matches_explicit_construction() {
+        let cfg = SystemConfig::default();
+        let m = RecoveryManager::for_config(&cfg);
+        assert_eq!(m.mac_latency, cfg.mac_latency.get());
+        assert_eq!(m.geometry, cfg.bmt);
+    }
+}

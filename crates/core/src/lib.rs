@@ -40,6 +40,8 @@
 
 mod config;
 pub mod engine;
+mod error;
+pub mod fault;
 pub mod meta;
 mod recovery;
 mod report;
@@ -49,6 +51,11 @@ mod tuple;
 mod wpq;
 
 pub use config::{ProtectionScope, SystemConfig, UpdateScheme};
+pub use error::ConfigError;
+pub use fault::{
+    BlockFate, FaultClass, FaultConfig, FaultInjector, FaultOutcome, FaultSpec, FaultSweep,
+    FaultVerdict, RecoveryError, RecoveryManager, RecoveryOutcome, RootStatus, SchemeRobustness,
+};
 pub use recovery::{
     with_component_lost, with_component_reordered, ObserverExpectation, PersistImage,
     RecoveryChecker, RecoveryCost, RecoveryReport, TupleComponent,

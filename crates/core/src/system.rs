@@ -86,9 +86,20 @@ impl SystemSim {
     /// # Panics
     ///
     /// Panics if the configuration is invalid
-    /// (see [`SystemConfig::validate`]).
+    /// (see [`SystemConfig::validate`]); use [`SystemSim::try_new`] to
+    /// handle the error instead.
     pub fn new(config: SystemConfig) -> Self {
         Self::with_base_ipc(config, 1.0)
+    }
+
+    /// Builds a system with a 1.0-IPC core, validating the
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint the configuration violates.
+    pub fn try_new(config: SystemConfig) -> Result<Self, crate::ConfigError> {
+        Self::try_with_base_ipc(config, 1.0)
     }
 
     /// Builds a system whose core retires gap instructions at
@@ -97,15 +108,33 @@ impl SystemSim {
     /// # Panics
     ///
     /// Panics if the configuration is invalid or `base_ipc` is not
-    /// positive.
+    /// positive; use [`SystemSim::try_with_base_ipc`] to handle the
+    /// error instead.
     pub fn with_base_ipc(config: SystemConfig, base_ipc: f64) -> Self {
-        config.validate().expect("invalid system configuration");
-        assert!(
-            base_ipc.is_finite() && base_ipc > 0.0,
-            "base IPC must be positive"
-        );
+        match Self::try_with_base_ipc(config, base_ipc) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid system configuration: {e}"),
+        }
+    }
+
+    /// Builds a system whose core retires gap instructions at
+    /// `base_ipc`, validating both the configuration and the IPC.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint the configuration violates, or
+    /// [`crate::ConfigError::NonPositiveBaseIpc`] for a degenerate
+    /// core model.
+    pub fn try_with_base_ipc(
+        config: SystemConfig,
+        base_ipc: f64,
+    ) -> Result<Self, crate::ConfigError> {
+        config.validate()?;
+        if !base_ipc.is_finite() || base_ipc <= 0.0 {
+            return Err(crate::ConfigError::NonPositiveBaseIpc { base_ipc });
+        }
         let engine = Engine::for_config(&config);
-        SystemSim {
+        Ok(SystemSim {
             hierarchy: Hierarchy::paper_default(config.llc_bytes),
             meta: MetadataCaches::new(config.metadata_cache_bytes, config.ideal_metadata),
             engine,
@@ -132,7 +161,7 @@ impl SystemSim {
             records: Vec::new(),
             base_ipc,
             config,
-        }
+        })
     }
 
     /// The configuration this system was built with.
@@ -242,7 +271,7 @@ impl SystemSim {
         // under the old major counter. The pipelined crypto units chew
         // through the page in roughly one extra MAC latency.
         if !reencrypt.is_empty() {
-            completion = completion + self.effective_mac();
+            completion += self.effective_mac();
         }
         if !self.config.scheme.is_epoch_based() && self.config.scheme != UpdateScheme::Unordered {
             completion = completion.max(self.last_ordered_release);

@@ -51,7 +51,10 @@ mod mac;
 mod siphash;
 
 /// Serde helpers for 64-byte arrays (serde's derive only covers arrays
-/// up to 32 elements).
+/// up to 32 elements). The functions are referenced from
+/// `#[serde(with = "crate::serde64")]` attributes, which the vendored
+/// stub derive does not expand — hence the dead-code allowance.
+#[allow(dead_code)]
 pub(crate) mod serde64 {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
 

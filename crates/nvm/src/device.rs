@@ -7,7 +7,7 @@ use plp_events::addr::BlockAddr;
 use plp_events::Cycle;
 use serde::{Deserialize, Serialize};
 
-use crate::NvmConfig;
+use crate::{NvmConfig, NvmError};
 
 /// Statistics reported by the device.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -25,6 +25,30 @@ pub struct NvmStats {
     pub row_misses: u64,
     /// Cycles accesses spent waiting for a full read/write queue.
     pub queue_stall_cycles: u64,
+    /// Read attempts that transiently faulted and were retried (see
+    /// [`crate::ReadFaultConfig`]).
+    pub read_retries: u64,
+    /// Reads whose retry budget was exhausted: the device delivered
+    /// unreliable data and upstream integrity checks must catch it.
+    pub read_failures: u64,
+}
+
+/// One splitmix64 step — the device's replayable fault stream.
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draws a fault with probability `p` from the stream.
+fn fault_roll(state: &mut u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    let unit = (splitmix_next(state) >> 11) as f64 / (1u64 << 53) as f64;
+    unit < p
 }
 
 /// One bank's schedule: non-overlapping busy reservations.
@@ -103,9 +127,12 @@ impl OutstandingSet {
         if self.completions.len() < self.capacity {
             now
         } else {
-            let Reverse(t) = *self.completions.peek().expect("full set is non-empty");
-            self.completions.pop();
-            Cycle::new(t)
+            // A zero-capacity queue (rejected by NvmConfig::validate,
+            // but kept total here) degenerates to immediate admission.
+            match self.completions.pop() {
+                Some(Reverse(t)) => Cycle::new(t),
+                None => now,
+            }
         }
     }
 
@@ -139,20 +166,41 @@ pub struct NvmDevice {
     writes: OutstandingSet,
     /// Pending (not yet durable) writes, for write combining.
     pending_writes: std::collections::HashMap<BlockAddr, Cycle>,
+    /// Splitmix64 state of the transient-read-fault stream.
+    fault_rng: u64,
     stats: NvmStats,
 }
 
 impl NvmDevice {
     /// Creates an idle device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`NvmDevice::try_new`] to handle the error instead.
     pub fn new(config: NvmConfig) -> Self {
-        NvmDevice {
+        match Self::try_new(config) {
+            Ok(device) => device,
+            Err(e) => panic!("invalid NVM configuration: {e}"),
+        }
+    }
+
+    /// Creates an idle device, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint the configuration violates.
+    pub fn try_new(config: NvmConfig) -> Result<Self, NvmError> {
+        config.validate()?;
+        Ok(NvmDevice {
             banks: vec![Bank::default(); config.banks],
             reads: OutstandingSet::new(config.read_queue),
             writes: OutstandingSet::new(config.write_queue),
             pending_writes: std::collections::HashMap::new(),
+            fault_rng: config.read_fault.seed ^ 0x4E56_4D5F_4641_554C,
             config,
             stats: NvmStats::default(),
-        }
+        })
     }
 
     /// The configuration.
@@ -200,7 +248,28 @@ impl NvmDevice {
                 .read_row_miss_cycles(self.config.cpu_freq)
         };
         let start = bank.reserve(admitted.get(), latency.get());
-        let done = Cycle::new(start) + latency;
+        let mut done = Cycle::new(start) + latency;
+        // Transient read faults: each attempt fails independently; the
+        // controller backs off and re-reads (the row is open by then)
+        // until it succeeds or the retry budget runs out.
+        let fault = &self.config.read_fault;
+        if fault.is_enabled() {
+            let p = fault.fault_probability;
+            let backoff = self.config.cpu_freq.cycles_for_ns(fault.retry_backoff_ns);
+            let retry_latency = self.config.timing.read_row_hit_cycles(self.config.cpu_freq);
+            let mut failed = fault_roll(&mut self.fault_rng, p);
+            let mut retries = 0;
+            while failed && retries < fault.max_retries {
+                retries += 1;
+                self.stats.read_retries += 1;
+                let retry_start = bank.reserve((done + backoff).get(), retry_latency.get());
+                done = Cycle::new(retry_start) + retry_latency;
+                failed = fault_roll(&mut self.fault_rng, p);
+            }
+            if failed {
+                self.stats.read_failures += 1;
+            }
+        }
         if done.get() >= bank.latest_end {
             bank.latest_end = done.get();
             bank.open_row = Some(row);
@@ -364,6 +433,89 @@ mod tests {
         assert_eq!(d.drained_at(), t);
         let t2 = d.write(Cycle::ZERO, BlockAddr::new(5000));
         assert_eq!(d.drained_at(), t.max(t2));
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_configs() {
+        let zero_banks = NvmConfig {
+            banks: 0,
+            ..NvmConfig::paper_default()
+        };
+        assert_eq!(NvmDevice::try_new(zero_banks).unwrap_err(), NvmError::ZeroBanks);
+        let zero_queue = NvmConfig {
+            read_queue: 0,
+            ..NvmConfig::paper_default()
+        };
+        assert!(matches!(
+            NvmDevice::try_new(zero_queue).unwrap_err(),
+            NvmError::ZeroQueue { queue: "read" }
+        ));
+        let bad_prob = NvmConfig {
+            read_fault: crate::ReadFaultConfig::with_probability(1.5, 0),
+            ..NvmConfig::paper_default()
+        };
+        assert!(matches!(
+            NvmDevice::try_new(bad_prob).unwrap_err(),
+            NvmError::BadFaultProbability { .. }
+        ));
+        assert!(NvmDevice::try_new(NvmConfig::paper_default()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid NVM configuration")]
+    fn new_panics_with_descriptive_message() {
+        let _ = NvmDevice::new(NvmConfig {
+            banks: 0,
+            ..NvmConfig::paper_default()
+        });
+    }
+
+    #[test]
+    fn read_faults_retry_with_backoff() {
+        let mut faulty = NvmDevice::new(NvmConfig {
+            read_fault: crate::ReadFaultConfig {
+                fault_probability: 1.0,
+                max_retries: 3,
+                retry_backoff_ns: 100.0,
+                seed: 42,
+            },
+            ..NvmConfig::paper_default()
+        });
+        let mut clean = NvmDevice::new(NvmConfig::paper_default());
+        let slow = faulty.read(Cycle::ZERO, BlockAddr::new(0));
+        let fast = clean.read(Cycle::ZERO, BlockAddr::new(0));
+        // Every attempt fails: the full retry budget is spent and the
+        // read still counts as a device failure.
+        assert_eq!(faulty.stats().read_retries, 3);
+        assert_eq!(faulty.stats().read_failures, 1);
+        // Each retry costs at least the back-off plus a re-read.
+        assert!(slow >= fast + Cycle::new(3 * (400 + 70)), "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn read_fault_stream_is_replayable() {
+        let config = NvmConfig {
+            read_fault: crate::ReadFaultConfig::with_probability(0.3, 7),
+            ..NvmConfig::paper_default()
+        };
+        let mut a = NvmDevice::new(config);
+        let mut b = NvmDevice::new(config);
+        for i in 0..200 {
+            let t1 = a.read(Cycle::new(i * 10), BlockAddr::new(i % 40));
+            let t2 = b.read(Cycle::new(i * 10), BlockAddr::new(i % 40));
+            assert_eq!(t1, t2);
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().read_retries > 0, "p=0.3 over 200 reads must retry");
+    }
+
+    #[test]
+    fn disabled_fault_model_changes_nothing() {
+        let mut d = dev();
+        let t = d.read(Cycle::ZERO, BlockAddr::new(0));
+        assert_eq!(t.get(), 290);
+        assert_eq!(d.stats().read_retries, 0);
+        assert_eq!(d.stats().read_failures, 0);
     }
 
     #[test]

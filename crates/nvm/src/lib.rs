@@ -34,4 +34,4 @@ mod timing;
 
 pub use device::{NvmDevice, NvmStats};
 pub use medium::Medium;
-pub use timing::{Interleave, NvmConfig, NvmTiming};
+pub use timing::{Interleave, NvmConfig, NvmError, NvmTiming, ReadFaultConfig};

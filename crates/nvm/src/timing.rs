@@ -85,6 +85,63 @@ pub enum Interleave {
     RowLevel,
 }
 
+/// Deterministic transient-read-fault model: each read attempt fails
+/// independently with `fault_probability`; the controller retries up to
+/// `max_retries` times, paying `retry_backoff_ns` plus a re-read per
+/// retry. Reads that exhaust the budget are counted as unrecovered
+/// device read failures ([`crate::NvmStats::read_failures`]) — the
+/// media returned ECC-flagged garbage and upstream integrity checks
+/// must catch it.
+///
+/// The fault stream is a pure function of `seed` and the read order, so
+/// runs are replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadFaultConfig {
+    /// Per-attempt failure probability in `[0, 1]`. Zero disables the
+    /// model entirely (the default).
+    pub fault_probability: f64,
+    /// Retry budget after the initial failed attempt.
+    pub max_retries: u32,
+    /// Controller back-off before each retry, in nanoseconds.
+    pub retry_backoff_ns: f64,
+    /// Seed of the fault stream.
+    pub seed: u64,
+}
+
+impl ReadFaultConfig {
+    /// The model switched off: no read ever faults.
+    pub fn disabled() -> Self {
+        ReadFaultConfig {
+            fault_probability: 0.0,
+            max_retries: 0,
+            retry_backoff_ns: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A fault model with the given per-attempt probability, three
+    /// retries and a 100 ns back-off.
+    pub fn with_probability(probability: f64, seed: u64) -> Self {
+        ReadFaultConfig {
+            fault_probability: probability,
+            max_retries: 3,
+            retry_backoff_ns: 100.0,
+            seed,
+        }
+    }
+
+    /// Whether any read can fault under this configuration.
+    pub fn is_enabled(&self) -> bool {
+        self.fault_probability > 0.0
+    }
+}
+
+impl Default for ReadFaultConfig {
+    fn default() -> Self {
+        ReadFaultConfig::disabled()
+    }
+}
+
 /// Overall device configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NvmConfig {
@@ -104,6 +161,8 @@ pub struct NvmConfig {
     pub cpu_freq: Freq,
     /// Address-to-bank mapping.
     pub interleave: Interleave,
+    /// Transient-read-fault injection (disabled by default).
+    pub read_fault: ReadFaultConfig,
 }
 
 impl NvmConfig {
@@ -119,9 +178,93 @@ impl NvmConfig {
             timing: NvmTiming::paper_default(),
             cpu_freq: Freq::ghz(4.0),
             interleave: Interleave::BlockLevel,
+            read_fault: ReadFaultConfig::disabled(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), NvmError> {
+        if self.banks == 0 {
+            return Err(NvmError::ZeroBanks);
+        }
+        if self.read_queue == 0 {
+            return Err(NvmError::ZeroQueue { queue: "read" });
+        }
+        if self.write_queue == 0 {
+            return Err(NvmError::ZeroQueue { queue: "write" });
+        }
+        let block = plp_events::addr::CACHE_BLOCK_SIZE as u64;
+        if self.row_bytes < block || !self.row_bytes.is_multiple_of(block) {
+            return Err(NvmError::BadRowBytes {
+                row_bytes: self.row_bytes,
+            });
+        }
+        if self.capacity_bytes < self.row_bytes {
+            return Err(NvmError::BadCapacity {
+                capacity_bytes: self.capacity_bytes,
+            });
+        }
+        let p = self.read_fault.fault_probability;
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(NvmError::BadFaultProbability { probability: p });
+        }
+        Ok(())
+    }
+}
+
+/// Why an [`NvmConfig`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NvmError {
+    /// The device must have at least one bank.
+    ZeroBanks,
+    /// A command queue must admit at least one command.
+    ZeroQueue {
+        /// Which queue ("read" or "write").
+        queue: &'static str,
+    },
+    /// Rows must hold a whole number of cache blocks.
+    BadRowBytes {
+        /// The rejected row size.
+        row_bytes: u64,
+    },
+    /// The device must hold at least one row.
+    BadCapacity {
+        /// The rejected capacity.
+        capacity_bytes: u64,
+    },
+    /// Fault probabilities live in `[0, 1]`.
+    BadFaultProbability {
+        /// The rejected probability.
+        probability: f64,
+    },
+}
+
+impl std::fmt::Display for NvmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NvmError::ZeroBanks => write!(f, "NVM device needs at least one bank"),
+            NvmError::ZeroQueue { queue } => {
+                write!(f, "NVM {queue} queue needs at least one entry")
+            }
+            NvmError::BadRowBytes { row_bytes } => write!(
+                f,
+                "NVM row size {row_bytes} must be a positive multiple of the cache block size"
+            ),
+            NvmError::BadCapacity { capacity_bytes } => {
+                write!(f, "NVM capacity {capacity_bytes} is below one row")
+            }
+            NvmError::BadFaultProbability { probability } => {
+                write!(f, "read-fault probability {probability} outside [0, 1]")
+            }
         }
     }
 }
+
+impl std::error::Error for NvmError {}
 
 impl Default for NvmConfig {
     fn default() -> Self {

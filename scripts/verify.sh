@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, the whole test suite, and
+# clippy with warnings promoted to errors. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -1,0 +1,71 @@
+//! Pinned crash-recovery regressions.
+//!
+//! Each test replays one concrete counterexample that property testing
+//! found in the past (the parameters come from shrunk proptest
+//! failures). Unlike a `.proptest-regressions` file, these replays do
+//! not depend on any particular proptest RNG stream, so they keep
+//! working across proptest versions and strategy changes.
+
+use plp::core::{
+    run_with_crash, ObserverExpectation, PersistImage, RecoveryChecker, SystemConfig,
+    UpdateScheme,
+};
+use plp::events::Cycle;
+use plp::trace::{TraceGenerator, WorkloadProfile};
+
+/// Replays a (profile, seed, crash fraction, scheme) tuple through the
+/// same path as the `correct_schemes_always_recover` property.
+fn replay(profile: WorkloadProfile, seed: u64, crash_frac: f64, scheme: UpdateScheme) {
+    let mut cfg = SystemConfig::for_scheme(scheme);
+    cfg.record_persists = true;
+    let trace = TraceGenerator::new(profile, seed).generate(5_000);
+    let (report, _, _) = run_with_crash(&cfg, 1.0, &trace, None);
+    let t = Cycle::new((report.total_cycles.get() as f64 * crash_frac) as u64);
+    let image = PersistImage::at_time(&report.records, t, cfg.bmt, cfg.key);
+    let expected = ObserverExpectation::at_time(&report.records, t);
+    let verdict = RecoveryChecker::new(cfg.bmt, cfg.key).check(&image, &expected);
+    assert!(verdict.is_clean(), "{scheme} at {t}: {verdict}");
+}
+
+/// Shrunk counterexample once recorded in
+/// `crash_properties.proptest-regressions`: a store-heavy, highly
+/// repetitive workload crashing the `pipeline` engine at ~70% of the
+/// run.
+#[test]
+fn pipeline_recovers_store_heavy_repetitive_workload() {
+    let profile = WorkloadProfile::builder("prop")
+        .base_ipc(1.0)
+        .store_ppki(53.868358961942576, 21.547343584777032)
+        .load_ppki(60.0)
+        .locality(0.7424701974058485, 256, 16.373232256169253)
+        .build();
+    replay(
+        profile,
+        17478386929309104237,
+        0.6981282319444854,
+        UpdateScheme::Pipeline,
+    );
+}
+
+/// The same shape swept across every correct scheme and a spread of
+/// crash fractions, so a reintroduced ordering bug is caught no matter
+/// which engine it lands in.
+#[test]
+fn all_correct_schemes_recover_the_regression_workload() {
+    for scheme in [
+        UpdateScheme::Sp,
+        UpdateScheme::Pipeline,
+        UpdateScheme::O3,
+        UpdateScheme::Coalescing,
+    ] {
+        for crash_frac in [0.0, 0.25, 0.6981282319444854, 0.95, 1.0] {
+            let profile = WorkloadProfile::builder("prop")
+                .base_ipc(1.0)
+                .store_ppki(53.868358961942576, 21.547343584777032)
+                .load_ppki(60.0)
+                .locality(0.7424701974058485, 256, 16.373232256169253)
+                .build();
+            replay(profile, 17478386929309104237, crash_frac, scheme);
+        }
+    }
+}

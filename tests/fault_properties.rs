@@ -1,0 +1,166 @@
+//! Property-based fault-injection tests: the detect-or-recover
+//! contract, fuzzed over workload shapes, crash points, fault classes
+//! and seeds.
+//!
+//! The contract under test (mirrors `fault_sweep`'s PASS gate):
+//!
+//! * a correct engine (`sp`, `pipeline`, `o3`, `coalescing`) hit by any
+//!   *single* torn line write or bit flip either recovers fully
+//!   (clean/repaired) or quarantines the damage — never a stale
+//!   rollback, never silent garbage;
+//! * the `unordered` strawman may lose data at a crash (Tables I/II),
+//!   but the MAC + BMT machinery must still flag every non-authentic
+//!   state: silent garbage is impossible for *every* scheme.
+
+use plp::core::fault::{FaultInjector, FaultVerdict, RecoveryManager};
+use plp::core::{
+    run_with_crash, ObserverExpectation, PersistImage, SystemConfig, TupleComponent, UpdateScheme,
+};
+use plp::events::Cycle;
+use plp::trace::{TraceGenerator, WorkloadProfile};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        1u64..=4,       // footprint scale
+        20.0f64..120.0, // store ppki
+        0.0f64..0.9,    // repeat fraction
+        1.0f64..32.0,   // run length
+    )
+        .prop_map(|(fp, stores, repeat, run)| {
+            WorkloadProfile::builder("prop")
+                .base_ipc(1.0)
+                .store_ppki(stores, stores * 0.4)
+                .load_ppki(60.0)
+                .locality(repeat, fp * 128, run)
+                .build()
+        })
+}
+
+/// Runs `scheme` on `profile`, crashes at `crash_frac` of the run and
+/// returns the recovery ingredients.
+fn crash_state(
+    profile: WorkloadProfile,
+    seed: u64,
+    crash_frac: f64,
+    scheme: UpdateScheme,
+) -> (
+    SystemConfig,
+    Vec<plp::core::PersistRecord>,
+    Cycle,
+    PersistImage,
+    ObserverExpectation,
+) {
+    let mut cfg = SystemConfig::for_scheme(scheme);
+    cfg.record_persists = true;
+    let trace = TraceGenerator::new(profile, seed).generate(5_000);
+    let (report, _, _) = run_with_crash(&cfg, 1.0, &trace, None);
+    let t = Cycle::new((report.total_cycles.get() as f64 * crash_frac) as u64);
+    let image = PersistImage::at_time(&report.records, t, cfg.bmt, cfg.key);
+    let expected = ObserverExpectation::at_time(&report.records, t);
+    (cfg, report.records, t, image, expected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any single torn line write against any correct engine, at any
+    /// crash point, is either absorbed or quarantined — never accepted.
+    #[test]
+    fn correct_engines_detect_or_recover_any_torn_write(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        crash_frac in 0.0f64..1.0,
+        scheme_pick in 0usize..4,
+        component_pick in 0usize..3,
+    ) {
+        let scheme = [
+            UpdateScheme::Sp,
+            UpdateScheme::Pipeline,
+            UpdateScheme::O3,
+            UpdateScheme::Coalescing,
+        ][scheme_pick];
+        let component = [
+            TupleComponent::Ciphertext,
+            TupleComponent::Counter,
+            TupleComponent::Mac,
+        ][component_pick];
+        let (cfg, records, t, mut image, expected) =
+            crash_state(profile, seed, crash_frac, scheme);
+        let manager = RecoveryManager::for_config(&cfg);
+
+        let baseline = manager.recover(&image, &records, &expected);
+        prop_assert_eq!(
+            baseline.verdict(), FaultVerdict::Clean,
+            "{} must crash cleanly before injection at {:?}", scheme, t
+        );
+
+        let spec = FaultInjector::new(fault_seed)
+            .torn_write_component(&mut image, &records, t, component);
+        prop_assume!(spec.is_some()); // nothing tearable this early
+        let outcome = manager.recover(&image, &records, &expected);
+        prop_assert!(
+            !outcome.verdict().is_undetected(),
+            "{} accepted a bad state after {}: {}",
+            scheme, spec.unwrap(), outcome
+        );
+    }
+
+    /// Any single bit flip — data, MAC, counter or the root register —
+    /// is likewise detected or repaired by every correct engine.
+    #[test]
+    fn correct_engines_detect_or_recover_any_bit_flip(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        crash_frac in 0.0f64..1.0,
+        scheme_pick in 0usize..4,
+    ) {
+        let scheme = [
+            UpdateScheme::Sp,
+            UpdateScheme::Pipeline,
+            UpdateScheme::O3,
+            UpdateScheme::Coalescing,
+        ][scheme_pick];
+        let (cfg, records, _t, mut image, expected) =
+            crash_state(profile, seed, crash_frac, scheme);
+        let manager = RecoveryManager::for_config(&cfg);
+
+        let spec = FaultInjector::new(fault_seed).bit_flip(&mut image);
+        prop_assume!(spec.is_some());
+        let outcome = manager.recover(&image, &records, &expected);
+        prop_assert!(
+            !outcome.verdict().is_undetected(),
+            "{} accepted a bad state after {}: {}",
+            scheme, spec.unwrap(), outcome
+        );
+    }
+
+    /// The unordered strawman loses data across crashes — but it must
+    /// be *detected* loss or an authentic stale version. Decrypting
+    /// garbage and calling it recovered is impossible while the MAC
+    /// binds (C, A, γ): silent garbage means a forged tag.
+    #[test]
+    fn unordered_never_silently_recovers_garbage(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        crash_frac in 0.0f64..1.0,
+        inject_pick in 0usize..2,
+    ) {
+        let (cfg, records, t, mut image, expected) =
+            crash_state(profile, seed, crash_frac, UpdateScheme::Unordered);
+        let manager = RecoveryManager::for_config(&cfg);
+        if inject_pick == 1 {
+            // A fault on top of the torn tuple state must not make
+            // things *less* detectable either.
+            let _ = FaultInjector::new(fault_seed).torn_write(&mut image, &records, t);
+        }
+        let outcome = manager.recover(&image, &records, &expected);
+        prop_assert!(
+            outcome.verdict() != FaultVerdict::UndetectedCorruption,
+            "unordered silently recovered garbage at {:?}: {}", t, outcome
+        );
+    }
+}

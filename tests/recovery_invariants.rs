@@ -215,10 +215,10 @@ fn counter_overflow_page_reencryption_recovers() {
     }
 }
 
-/// A *replay* — writing back a consistent old tuple (ciphertext + MAC
-/// + counter block together) — passes the stateful MAC in isolation
-/// but is caught by the BMT root. This is the §II argument that the
-/// tree must cover counters.
+/// A *replay* — writing back a consistent old tuple (ciphertext +
+/// MAC + counter block together) — passes the stateful MAC in
+/// isolation but is caught by the BMT root. This is the §II argument
+/// that the tree must cover counters.
 #[test]
 fn counter_replay_is_caught_by_the_tree() {
     let (cfg, report) = recorded_run(UpdateScheme::Sp, "milc", 8_000);

@@ -1,0 +1,152 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`criterion_group!`] and
+//! [`criterion_main!`] — with a drastically simplified measurement
+//! loop: a short warm-up, a fixed iteration budget and a median-of-runs
+//! nanosecond report. Good enough to compare orders of magnitude and to
+//! keep `cargo bench` / `cargo clippy --benches` working without
+//! network access.
+
+use std::time::Instant;
+
+/// Re-export so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortizes setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup per small batch of iterations.
+    SmallInput,
+    /// Setup per large batch of iterations.
+    LargeInput,
+    /// Setup once per iteration.
+    PerIteration,
+}
+
+/// Runs one benchmark's measurement loops.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    /// Median nanoseconds per iteration across runs, filled by the
+    /// measurement loop.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher {
+            iters,
+            ns_per_iter: 0.0,
+        }
+    }
+
+    /// Times `routine` over the iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        for _ in 0..self.iters.min(8) {
+            black_box(routine());
+        }
+        let mut runs = Vec::new();
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                black_box(routine());
+            }
+            runs.push(start.elapsed().as_nanos() as f64 / self.iters as f64);
+        }
+        runs.sort_by(f64::total_cmp);
+        self.ns_per_iter = runs[runs.len() / 2];
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters.min(4) {
+            black_box(routine(setup()));
+        }
+        let mut runs = Vec::new();
+        for _ in 0..5 {
+            let inputs: Vec<I> = (0..self.iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            runs.push(start.elapsed().as_nanos() as f64 / self.iters as f64);
+        }
+        runs.sort_by(f64::total_cmp);
+        self.ns_per_iter = runs[runs.len() / 2];
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Overridable so CI can shrink bench time:
+        // CRITERION_STUB_ITERS=1 cargo bench
+        let iters = std::env::var("CRITERION_STUB_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100);
+        Criterion { iters }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark named `id` and prints its median
+    /// time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.iters);
+        f(&mut b);
+        println!("{id:<40} {:>12.1} ns/iter", b.ns_per_iter);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        std::env::set_var("CRITERION_STUB_ITERS", "10");
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke/iter", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline stand-in for `rand`.
+//!
+//! Implements the slice of the `rand` API the workspace uses — a
+//! deterministic [`rngs::SmallRng`] seeded from a `u64`, plus the
+//! [`RngExt`] sampling helpers (`random`, `random_range`,
+//! `random_bool`). The generator is xoshiro256++ with splitmix64 state
+//! expansion, the same family real `rand` uses for `SmallRng` on
+//! 64-bit targets, so statistical quality is comparable; the exact
+//! streams differ, which only matters to code that bakes in
+//! seed-specific expectations.
+
+/// Types seedable from a plain `u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it to the full
+    /// state size.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A value type [`RngExt::random`] can produce.
+pub trait StandardValue: Sized {
+    /// Draws a uniformly distributed value.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+impl StandardValue for f64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardValue for u64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardValue for u32 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardValue for bool {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A half-open or inclusive integer range [`RngExt::random_range`] can
+/// sample from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws a uniform element of the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn draw(&self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn draw(&self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn draw(&self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait RngExt: RngCore + Sized {
+    /// Draws a uniformly distributed value of `T`.
+    fn random<T: StandardValue>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws a uniform element of `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.draw(self)
+    }
+
+    /// Draws `true` with probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(3usize..=5);
+            assert!((3..=5).contains(&w));
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_tracks() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+    }
+}

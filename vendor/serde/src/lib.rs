@@ -1,0 +1,77 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on most model types
+//! so that downstream users *could* persist them, but no code path in
+//! the repository actually serializes at runtime (there is no
+//! `serde_json`, `bincode`, …). The build container has no access to
+//! crates.io, so this stub keeps the source-level API — trait names,
+//! derive macros, the `ser`/`de` modules used by manual `with =`
+//! helpers — while blanket-implementing the traits with diverging
+//! bodies.
+//!
+//! If real serialization is ever needed, drop the real `serde` back
+//! into `[workspace.dependencies]`; no source changes are required.
+
+/// Serialization half of the stub API.
+pub mod ser {
+    /// Error raised by a serializer.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can serialize values.
+    pub trait Serializer: Sized {
+        /// Output produced on success.
+        type Ok;
+        /// Error produced on failure.
+        type Error: Error;
+    }
+
+    /// A value that can be serialized.
+    pub trait Serialize {
+        /// Serializes `self` (never called: no serializer exists in
+        /// this workspace).
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    impl<T: ?Sized> Serialize for T {
+        fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+            unreachable!("serde stub: no serializer exists in this workspace")
+        }
+    }
+}
+
+/// Deserialization half of the stub API.
+pub mod de {
+    /// Error raised by a deserializer.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can deserialize values.
+    pub trait Deserializer<'de>: Sized {
+        /// Error produced on failure.
+        type Error: Error;
+    }
+
+    /// A value that can be deserialized.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes a value (never called: no deserializer exists
+        /// in this workspace).
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    impl<'de, T> Deserialize<'de> for T {
+        fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+            unreachable!("serde stub: no deserializer exists in this workspace")
+        }
+    }
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+// The derive macros live in a different namespace than the traits, so
+// both re-exports coexist, exactly as in real serde.
+pub use serde_derive::{Deserialize, Serialize};

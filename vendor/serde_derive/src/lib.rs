@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The simulator only ever *derives* `Serialize`/`Deserialize`; nothing
+//! in the workspace serializes at runtime (there is no `serde_json`,
+//! `bincode`, …). The companion `serde` stub blanket-implements both
+//! traits for every type, so these derives only need to accept the
+//! syntax — including `#[serde(...)]` helper attributes — and expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` field/container
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` field/container
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

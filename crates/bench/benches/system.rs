@@ -3,7 +3,7 @@
 //! generation. These are the numbers that size the harness run times.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use plp_core::{SystemConfig, SystemSim, UpdateScheme};
+use plp_core::{SimSetup, SystemConfig, UpdateScheme};
 use plp_trace::{spec, TraceGenerator};
 use std::hint::black_box;
 
@@ -23,17 +23,13 @@ fn bench_trace_generation(c: &mut Criterion) {
 fn bench_schemes(c: &mut Criterion) {
     let profile = spec::benchmark("gcc").unwrap();
     let trace = TraceGenerator::new(profile.clone(), 1).generate(INSTRUCTIONS);
-    for scheme in [
-        UpdateScheme::SecureWb,
-        UpdateScheme::Sp,
-        UpdateScheme::Pipeline,
-        UpdateScheme::O3,
-        UpdateScheme::Coalescing,
-    ] {
+    for scheme in UpdateScheme::all() {
+        let setup = SimSetup::with_base_ipc(SystemConfig::for_scheme(scheme), profile.base_ipc)
+            .expect("valid configuration");
         c.bench_function(&format!("system/run-20k-{}", scheme.name()), |b| {
             b.iter_batched(
-                || SystemSim::with_base_ipc(SystemConfig::for_scheme(scheme), profile.base_ipc),
-                |mut sim| black_box(sim.run(&trace)),
+                || setup.simulation(),
+                |sim| black_box(sim.run(&trace)),
                 BatchSize::SmallInput,
             )
         });

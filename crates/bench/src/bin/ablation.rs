@@ -2,101 +2,6 @@
 //! mechanism and each structural parameter buys, on one representative
 //! benchmark, normalized to `secure_WB`.
 
-use plp_bench::{banner, run, RunSettings};
-use plp_core::{RunReport, SystemConfig, UpdateScheme};
-use plp_events::Cycle;
-use plp_trace::{spec, WorkloadProfile};
-
-fn norm(profile: &WorkloadProfile, cfg: &SystemConfig, settings: RunSettings) -> (f64, RunReport) {
-    let base = run(
-        profile,
-        &SystemConfig::for_scheme(UpdateScheme::SecureWb),
-        settings,
-    );
-    let r = run(profile, cfg, settings);
-    (r.normalized_to(&base), r)
-}
-
 fn main() {
-    let settings = RunSettings::from_args();
-    banner("Ablations", "design-choice isolation on gcc", settings);
-    let profile = spec::benchmark("gcc").expect("known benchmark");
-
-    // D1 — what Invariant 2 (root ordering) costs under SP.
-    let (sp, _) = norm(&profile, &SystemConfig::for_scheme(UpdateScheme::Sp), settings);
-    let (un, _) = norm(
-        &profile,
-        &SystemConfig::for_scheme(UpdateScheme::Unordered),
-        settings,
-    );
-    println!("D1 root-ordering enforcement (sp vs unordered):");
-    println!("   sp {sp:.2}x vs unordered {un:.2}x -> correctness costs {:.2}x", sp / un);
-    println!();
-
-    // D2 — in-order pipelining vs intra-epoch OOO.
-    let (pipe, _) = norm(
-        &profile,
-        &SystemConfig::for_scheme(UpdateScheme::Pipeline),
-        settings,
-    );
-    let (o3, o3r) = norm(&profile, &SystemConfig::for_scheme(UpdateScheme::O3), settings);
-    println!("D2 in-order pipeline vs OOO epochs:");
-    println!("   pipeline {pipe:.2}x vs o3 {o3:.2}x -> relaxing intra-epoch order buys {:.2}x", pipe / o3);
-    println!();
-
-    // D3 — coalescing: same runtime class, fewer node updates.
-    let (co, cor) = norm(
-        &profile,
-        &SystemConfig::for_scheme(UpdateScheme::Coalescing),
-        settings,
-    );
-    println!("D3 LCA coalescing on top of o3:");
-    println!(
-        "   runtime {co:.2}x (o3 {o3:.2}x); node updates {} -> {} (-{:.1}%)",
-        o3r.engine.node_updates,
-        cor.engine.node_updates,
-        cor.node_update_reduction_vs(&o3r) * 100.0
-    );
-    println!();
-
-    // D4 — ETT depth: how many concurrent epochs matter.
-    println!("D4 ETT entries (concurrent epochs), coalescing scheme:");
-    for ett in [1usize, 2, 4, 8] {
-        let mut cfg = SystemConfig::for_scheme(UpdateScheme::Coalescing);
-        cfg.ett_entries = ett;
-        let (n, _) = norm(&profile, &cfg, settings);
-        println!("   ett={ett}: {n:.3}x");
-    }
-    println!();
-
-    // D5 — tree height: deeper trees lengthen every walk, but the
-    // pipelined engine's throughput is height-independent.
-    println!("D5 BMT height (memory size), sp vs pipeline:");
-    for levels in [7u32, 8, 9, 10, 11] {
-        let mut sp_cfg = SystemConfig::for_scheme(UpdateScheme::Sp);
-        sp_cfg.bmt = plp_bmt::BmtGeometry::new(8, levels);
-        let (sp_n, _) = norm(&profile, &sp_cfg, settings);
-        let mut pipe_cfg = SystemConfig::for_scheme(UpdateScheme::Pipeline);
-        pipe_cfg.bmt = plp_bmt::BmtGeometry::new(8, levels);
-        let (pipe_n, _) = norm(&profile, &pipe_cfg, settings);
-        println!(
-            "   {levels} levels: sp {sp_n:5.2}x   pipeline {pipe_n:5.2}x   (ratio {:.2})",
-            sp_n / pipe_n
-        );
-    }
-    println!();
-    println!(
-        "paper §IV-A2: 'with larger memories, the degree of PLP increases and\n\
-         pipelined BMT updates becomes even more effective versus non-pipelined'"
-    );
-
-    // Bonus — MAC latency interacts with everything (Fig. 9 logic).
-    println!();
-    println!("MAC-latency scaling, sp scheme:");
-    for mac in [0u64, 20, 40, 80] {
-        let mut cfg = SystemConfig::for_scheme(UpdateScheme::Sp);
-        cfg.mac_latency = Cycle::new(mac);
-        let (n, _) = norm(&profile, &cfg, settings);
-        println!("   mac={mac:>2}: {n:.2}x");
-    }
+    plp_bench::run_spec(plp_bench::specs::find("ablation").expect("registered spec"));
 }

@@ -1,0 +1,76 @@
+//! Every paper artefact in one invocation.
+//!
+//! Collects the run requests of every registered [`plp_bench::specs`]
+//! experiment, executes the union as one deduplicated matrix — in
+//! parallel and through the on-disk run cache by default — and prints
+//! each artefact exactly as its standalone binary would, separated by
+//! blank lines. Execution statistics go to stderr so stdout is
+//! byte-identical across serial, parallel and warm-cache runs.
+//!
+//! Usage: `all [instructions] [seed] [--serial] [--threads N]
+//! [--no-cache]`
+
+use plp_bench::{all_specs, matrix, MatrixOptions, RunSettings};
+
+fn usage() -> ! {
+    eprintln!("usage: all [instructions] [seed] [--serial] [--threads N] [--no-cache]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut settings = RunSettings::default();
+    let mut positionals = 0;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut cached = true;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--serial" => threads = 1,
+            "--no-cache" => cached = false,
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => threads = n,
+                _ => usage(),
+            },
+            _ => match (arg.parse::<u64>(), positionals) {
+                (Ok(n), 0) => {
+                    settings.instructions = n;
+                    positionals = 1;
+                }
+                (Ok(n), 1) => {
+                    settings.seed = n;
+                    positionals = 2;
+                }
+                _ => usage(),
+            },
+        }
+    }
+
+    let opts = MatrixOptions {
+        threads,
+        cache_dir: cached.then(matrix::default_cache_dir),
+    };
+
+    let mut requests = Vec::new();
+    for spec in all_specs() {
+        requests.extend(spec.runs_needed(settings));
+    }
+    let (results, stats) = matrix::execute(&requests, &opts);
+
+    let mut first = true;
+    for spec in all_specs() {
+        if !first {
+            println!();
+        }
+        first = false;
+        print!("{}", spec.output(&results, settings));
+    }
+    eprintln!(
+        "[plp-bench] all ({} threads{}): {}",
+        opts.threads,
+        if cached { ", cached" } else { ", uncached" },
+        stats.summary()
+    );
+}

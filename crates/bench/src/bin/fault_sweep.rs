@@ -24,13 +24,6 @@ use plp_core::fault::{ClassTally, FaultClass, FaultConfig, FaultSweep};
 use plp_core::{run_with_crash, SystemConfig, UpdateScheme};
 use plp_trace::{spec, TraceGenerator};
 
-const CORRECT: [UpdateScheme; 4] = [
-    UpdateScheme::Sp,
-    UpdateScheme::Pipeline,
-    UpdateScheme::O3,
-    UpdateScheme::Coalescing,
-];
-
 fn tally_row(scheme: UpdateScheme, points: usize, label: &str, t: &ClassTally) -> String {
     format!(
         "{:<12} {:>6}  {:<9} {:>8} {:>7} {:>9} {:>9} {:>7} {:>7} {:>11}",
@@ -77,7 +70,8 @@ fn main() {
     );
 
     let mut all_pass = true;
-    let mut schemes: Vec<UpdateScheme> = CORRECT.to_vec();
+    let correct = UpdateScheme::correct();
+    let mut schemes: Vec<UpdateScheme> = correct.to_vec();
     schemes.push(UpdateScheme::Unordered);
     for scheme in schemes {
         let mut cfg = SystemConfig::for_scheme(scheme);
@@ -110,7 +104,7 @@ fn main() {
                 .iter()
                 .map(|(_, t)| t.undetected_corruption)
                 .sum::<u64>();
-        if CORRECT.contains(&scheme) {
+        if correct.contains(&scheme) {
             let ok = result.detect_or_recover_holds();
             all_pass &= ok;
             println!(

@@ -4,39 +4,6 @@
 //! memory); some benchmarks match or beat secure_WB because evictions
 //! in the baseline update the BMT sequentially.
 
-use plp_bench::{banner, run, RunSettings, SeriesTable, FIG10_SCHEMES};
-use plp_core::{ProtectionScope, SystemConfig};
-use plp_trace::spec;
-
-fn table_for(scope: ProtectionScope, settings: RunSettings) -> SeriesTable {
-    let mut table = SeriesTable::new("bench", &["o3", "coalescing"]);
-    for profile in spec::all_benchmarks() {
-        let mut base_cfg = SystemConfig::for_scheme(plp_core::UpdateScheme::SecureWb);
-        base_cfg.scope = scope;
-        let base = run(&profile, &base_cfg, settings);
-        let mut row = Vec::new();
-        for scheme in FIG10_SCHEMES {
-            let mut cfg = SystemConfig::for_scheme(scheme);
-            cfg.scope = scope;
-            row.push(run(&profile, &cfg, settings).normalized_to(&base));
-        }
-        table.push(&profile.name, row);
-    }
-    table
-}
-
 fn main() {
-    let settings = RunSettings::from_args();
-    banner(
-        "Fig. 10",
-        "EP-scheme execution time normalized to secure_WB",
-        settings,
-    );
-    println!("-- default scope (non-stack persists)");
-    print!("{}", table_for(ProtectionScope::NonStack, settings).render());
-    println!();
-    println!("-- full-memory scope");
-    print!("{}", table_for(ProtectionScope::Full, settings).render());
-    println!();
-    println!("paper reference gmeans: o3 1.207 (2.42 full), coalescing 1.202 (2.35 full)");
+    plp_bench::run_spec(plp_bench::specs::find("fig10").expect("registered spec"));
 }

@@ -4,31 +4,6 @@
 //! size — larger epochs let more stores coalesce onto the same cache
 //! block before the flush.
 
-use plp_bench::{banner, run, RunSettings, SeriesTable};
-use plp_core::{SystemConfig, UpdateScheme};
-use plp_trace::spec;
-
-const EPOCHS: [usize; 7] = [4, 8, 16, 32, 64, 128, 256];
-
 fn main() {
-    let settings = RunSettings::from_args();
-    banner("Fig. 11", "PPKI vs epoch size (coalescing scheme)", settings);
-
-    let mut table = SeriesTable::new(
-        "bench",
-        &["ep4", "ep8", "ep16", "ep32", "ep64", "ep128", "ep256"],
-    );
-    for profile in spec::all_benchmarks() {
-        let mut row = Vec::new();
-        for epoch in EPOCHS {
-            let mut cfg = SystemConfig::for_scheme(UpdateScheme::Coalescing);
-            cfg.epoch_size = epoch;
-            let r = run(&profile, &cfg, settings);
-            row.push(r.persist_ppki());
-        }
-        table.push(&profile.name, row);
-    }
-    print!("{}", table.precision(2).render());
-    println!();
-    println!("paper reference: monotonically decreasing; Table V's o3 column is ep32");
+    plp_bench::run_spec(plp_bench::specs::find("fig11").expect("registered spec"));
 }

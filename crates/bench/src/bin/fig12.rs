@@ -4,39 +4,6 @@
 //! some benchmarks (gamess, milc, zeusmp at 256) because small epochs
 //! smooth the write traffic and reduce memory-controller queueing.
 
-use plp_bench::{banner, run, RunSettings, SeriesTable};
-use plp_core::{SystemConfig, UpdateScheme};
-use plp_trace::spec;
-
-const EPOCHS: [usize; 7] = [4, 8, 16, 32, 64, 128, 256];
-
 fn main() {
-    let settings = RunSettings::from_args();
-    banner(
-        "Fig. 12",
-        "coalescing execution time vs epoch size, normalized to secure_WB",
-        settings,
-    );
-
-    let mut table = SeriesTable::new(
-        "bench",
-        &["ep4", "ep8", "ep16", "ep32", "ep64", "ep128", "ep256"],
-    );
-    for profile in spec::all_benchmarks() {
-        let base = run(
-            &profile,
-            &SystemConfig::for_scheme(UpdateScheme::SecureWb),
-            settings,
-        );
-        let mut row = Vec::new();
-        for epoch in EPOCHS {
-            let mut cfg = SystemConfig::for_scheme(UpdateScheme::Coalescing);
-            cfg.epoch_size = epoch;
-            row.push(run(&profile, &cfg, settings).normalized_to(&base));
-        }
-        table.push(&profile.name, row);
-    }
-    print!("{}", table.render());
-    println!();
-    println!("paper reference: falling with epoch size, with a late-sweep upturn on some benchmarks");
+    plp_bench::run_spec(plp_bench::specs::find("fig12").expect("registered spec"));
 }

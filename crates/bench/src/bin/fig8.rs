@@ -5,40 +5,6 @@
 //! (30.7× full), pipeline ≈ 2.1× (6.9× full); ordering
 //! unordered < pipeline ≪ sp.
 
-use plp_bench::{banner, run, RunSettings, SeriesTable, FIG8_SCHEMES};
-use plp_core::{ProtectionScope, SystemConfig};
-use plp_trace::spec;
-
-fn table_for(scope: ProtectionScope, settings: RunSettings) -> SeriesTable {
-    let mut table = SeriesTable::new("bench", &["unordered", "sp", "pipeline"]);
-    for profile in spec::all_benchmarks() {
-        let mut base_cfg = SystemConfig::for_scheme(plp_core::UpdateScheme::SecureWb);
-        base_cfg.scope = scope;
-        let base = run(&profile, &base_cfg, settings);
-        let mut row = Vec::new();
-        for scheme in FIG8_SCHEMES {
-            let mut cfg = SystemConfig::for_scheme(scheme);
-            cfg.scope = scope;
-            let r = run(&profile, &cfg, settings);
-            row.push(r.normalized_to(&base));
-        }
-        table.push(&profile.name, row);
-    }
-    table
-}
-
 fn main() {
-    let settings = RunSettings::from_args();
-    banner(
-        "Fig. 8",
-        "SP-scheme execution time normalized to secure_WB",
-        settings,
-    );
-    println!("-- default scope (non-stack persists)");
-    print!("{}", table_for(ProtectionScope::NonStack, settings).render());
-    println!();
-    println!("-- full-memory scope (all stores persist)");
-    print!("{}", table_for(ProtectionScope::Full, settings).render());
-    println!();
-    println!("paper reference gmeans: sp 7.2 (30.7 full), pipeline 2.1 (6.9 full)");
+    plp_bench::run_spec(plp_bench::specs::find("fig8").expect("registered spec"));
 }

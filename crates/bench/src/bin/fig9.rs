@@ -6,34 +6,6 @@
 //! overhead — persisting the data itself is cheap; the leaf-to-root
 //! MAC chain is the bottleneck.
 
-use plp_bench::{banner, run, RunSettings, SeriesTable};
-use plp_core::{SystemConfig, UpdateScheme};
-use plp_events::Cycle;
-use plp_trace::spec;
-
 fn main() {
-    let settings = RunSettings::from_args();
-    banner("Fig. 9", "sp vs MAC latency and ideal metadata caches", settings);
-
-    let mut table = SeriesTable::new("bench", &["mac0", "mac20", "mac40", "mac80", "MDC"]);
-    for profile in spec::all_benchmarks() {
-        let base = run(
-            &profile,
-            &SystemConfig::for_scheme(UpdateScheme::SecureWb),
-            settings,
-        );
-        let mut row = Vec::new();
-        for mac in [0u64, 20, 40, 80] {
-            let mut cfg = SystemConfig::for_scheme(UpdateScheme::Sp);
-            cfg.mac_latency = Cycle::new(mac);
-            row.push(run(&profile, &cfg, settings).normalized_to(&base));
-        }
-        let mut ideal = SystemConfig::for_scheme(UpdateScheme::Sp);
-        ideal.ideal_metadata = true;
-        row.push(run(&profile, &ideal, settings).normalized_to(&base));
-        table.push(&profile.name, row);
-    }
-    print!("{}", table.render());
-    println!();
-    println!("paper reference: overhead ~ proportional to MAC latency; MDC ~ 1.0");
+    plp_bench::run_spec(plp_bench::specs::find("fig9").expect("registered spec"));
 }

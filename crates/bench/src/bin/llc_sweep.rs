@@ -3,28 +3,6 @@
 //! Paper reference: overhead varies modestly, 20.2% at 4MB to 22.8%
 //! at 1MB.
 
-use plp_bench::{banner, run, RunSettings, SeriesTable};
-use plp_core::{SystemConfig, UpdateScheme};
-use plp_trace::spec;
-
 fn main() {
-    let settings = RunSettings::from_args();
-    banner("LLC sweep", "coalescing vs LLC capacity", settings);
-
-    let mut table = SeriesTable::new("bench", &["llc1MB", "llc2MB", "llc4MB"]);
-    for profile in spec::all_benchmarks() {
-        let mut row = Vec::new();
-        for mb in [1usize, 2, 4] {
-            let mut base_cfg = SystemConfig::for_scheme(UpdateScheme::SecureWb);
-            base_cfg.llc_bytes = mb << 20;
-            let base = run(&profile, &base_cfg, settings);
-            let mut cfg = SystemConfig::for_scheme(UpdateScheme::Coalescing);
-            cfg.llc_bytes = mb << 20;
-            row.push(run(&profile, &cfg, settings).normalized_to(&base));
-        }
-        table.push(&profile.name, row);
-    }
-    print!("{}", table.render());
-    println!();
-    println!("paper reference: 22.8% (1MB) -> 20.2% (4MB) overhead");
+    plp_bench::run_spec(plp_bench::specs::find("llc_sweep").expect("registered spec"));
 }

@@ -3,30 +3,6 @@
 //! normalized to `secure_WB`. Paper reference: at most ~2% difference
 //! across sizes for any scheme.
 
-use plp_bench::{banner, run, RunSettings, SeriesTable};
-use plp_core::{SystemConfig, UpdateScheme};
-use plp_trace::spec;
-
 fn main() {
-    let settings = RunSettings::from_args();
-    banner("MDC sweep", "coalescing vs metadata-cache capacity", settings);
-
-    let mut table = SeriesTable::new("bench", &["32KB", "64KB", "128KB", "256KB"]);
-    for profile in spec::all_benchmarks() {
-        let base = run(
-            &profile,
-            &SystemConfig::for_scheme(UpdateScheme::SecureWb),
-            settings,
-        );
-        let mut row = Vec::new();
-        for kb in [32usize, 64, 128, 256] {
-            let mut cfg = SystemConfig::for_scheme(UpdateScheme::Coalescing);
-            cfg.metadata_cache_bytes = kb << 10;
-            row.push(run(&profile, &cfg, settings).normalized_to(&base));
-        }
-        table.push(&profile.name, row);
-    }
-    print!("{}", table.render());
-    println!();
-    println!("paper reference: <= ~2% spread across capacities");
+    plp_bench::run_spec(plp_bench::specs::find("mdc_sweep").expect("registered spec"));
 }

@@ -25,7 +25,7 @@ struct Args {
 }
 
 fn parse_scheme(s: &str) -> Option<UpdateScheme> {
-    UpdateScheme::ALL_EXTENDED
+    UpdateScheme::all_extended()
         .into_iter()
         .find(|u| u.name().eq_ignore_ascii_case(s))
 }
@@ -38,7 +38,7 @@ fn usage() -> ! {
         \x20      plp_sim --list\n\
         \n\
         schemes: {}",
-        UpdateScheme::ALL_EXTENDED
+        UpdateScheme::all_extended()
             .map(|s| s.name())
             .join(", ")
     );
@@ -71,7 +71,7 @@ fn parse_args() -> Args {
                     );
                 }
                 println!();
-                println!("schemes: {}", UpdateScheme::ALL_EXTENDED.map(|s| s.name()).join(", "));
+                println!("schemes: {}", UpdateScheme::all_extended().map(|s| s.name()).join(", "));
                 std::process::exit(0);
             }
             "--bench" => args.bench = value(&mut it),
@@ -148,9 +148,12 @@ fn main() {
         }
         println!("trace saved to {path} ({} events)", trace.op_count());
     }
-    let mut sim =
-        plp_core::SystemSim::with_base_ipc(args.config.clone(), profile.base_ipc);
-    let report = sim.run(&trace);
+    let setup = plp_core::SimSetup::with_base_ipc(args.config.clone(), profile.base_ipc)
+        .unwrap_or_else(|e| {
+            eprintln!("invalid configuration: {e}");
+            std::process::exit(2);
+        });
+    let report = setup.run(&trace);
     println!(
         "{} / {} / {} instructions (seed {})",
         profile.name,
@@ -192,8 +195,9 @@ fn main() {
     if args.baseline && args.scheme != UpdateScheme::SecureWb {
         let mut base_cfg = args.config.clone();
         base_cfg.scheme = UpdateScheme::SecureWb;
-        let mut base_sim = plp_core::SystemSim::with_base_ipc(base_cfg, profile.base_ipc);
-        let base = base_sim.run(&trace);
+        let base = plp_core::SimSetup::with_base_ipc(base_cfg, profile.base_ipc)
+            .expect("baseline config derives from a validated one")
+            .run(&trace);
         println!(
             "  vs secure_WB: {:.3}x ({:+.1}% overhead)",
             report.normalized_to(&base),

@@ -7,45 +7,6 @@
 //! This harness quantifies the cost the paper cites as the reason to
 //! focus on BMTs.
 
-use plp_bench::{banner, run, RunSettings, SeriesTable};
-use plp_core::{sgx, SystemConfig, UpdateScheme};
-use plp_trace::spec;
-
 fn main() {
-    let settings = RunSettings::from_args();
-    banner(
-        "SGX ablation",
-        "sp over a BMT vs sp over an SGX-style counter tree",
-        settings,
-    );
-
-    let mut table = SeriesTable::new("bench", &["sp(BMT)", "sp_ctree", "ratio"]);
-    for profile in spec::all_benchmarks() {
-        let base = run(
-            &profile,
-            &SystemConfig::for_scheme(UpdateScheme::SecureWb),
-            settings,
-        );
-        let bmt = run(
-            &profile,
-            &SystemConfig::for_scheme(UpdateScheme::Sp),
-            settings,
-        )
-        .normalized_to(&base);
-        let ctree = run(
-            &profile,
-            &SystemConfig::for_scheme(UpdateScheme::SpCounterTree),
-            settings,
-        )
-        .normalized_to(&base);
-        table.push(&profile.name, vec![bmt, ctree, ctree / bmt]);
-    }
-    print!("{}", table.render());
-    println!();
-    let g = SystemConfig::default().bmt;
-    println!(
-        "analytic write amplification at this geometry: {:.0}x NVM persists per store",
-        sgx::sgx_write_amplification(g)
-    );
-    println!("paper §V-D: 'we focus only on BMT due to the extra cost incurred by the counter tree'");
+    plp_bench::run_spec(plp_bench::specs::find("sgx_compare").expect("registered spec"));
 }

@@ -10,96 +10,6 @@
 //! * SGX counter-tree persist amplification (paper §V-D: scales with
 //!   tree height).
 
-use plp_bench::{banner, run_all, RunSettings};
-use plp_core::{sgx, RunReport, SystemConfig, UpdateScheme};
-use plp_events::stats::geometric_mean;
-use plp_trace::WorkloadProfile;
-
-fn gmean_normalized(
-    runs: &[(WorkloadProfile, RunReport)],
-    base: &[(WorkloadProfile, RunReport)],
-) -> f64 {
-    let values: Vec<f64> = runs
-        .iter()
-        .zip(base)
-        .map(|((_, r), (_, b))| r.normalized_to(b))
-        .collect();
-    geometric_mean(&values).expect("positive normalized times")
-}
-
 fn main() {
-    let settings = RunSettings::from_args();
-    banner("Summary", "headline results across all 15 benchmarks", settings);
-
-    let base = run_all(settings, |_| {
-        SystemConfig::for_scheme(UpdateScheme::SecureWb)
-    });
-    let mut gmeans = Vec::new();
-    for scheme in [
-        UpdateScheme::Unordered,
-        UpdateScheme::Sp,
-        UpdateScheme::Pipeline,
-        UpdateScheme::O3,
-        UpdateScheme::Coalescing,
-    ] {
-        let runs = run_all(settings, |_| SystemConfig::for_scheme(scheme));
-        let g = gmean_normalized(&runs, &base);
-        gmeans.push((scheme, g, runs));
-    }
-
-    println!("normalized execution time (gmean over benchmarks):");
-    let paper = [
-        ("unordered", "n/a (incorrect under crash)"),
-        ("sp", "~8.2x (720% overhead)"),
-        ("pipeline", "~3.1x (210% overhead)"),
-        ("o3", "1.207x (20.7% overhead)"),
-        ("coalescing", "1.202x (20.2% overhead)"),
-    ];
-    for ((scheme, g, _), (_, p)) in gmeans.iter().zip(paper) {
-        println!("  {:<11} {:>6.2}x   paper: {}", scheme.name(), g, p);
-    }
-    println!();
-
-    let sp = gmeans.iter().find(|(s, ..)| *s == UpdateScheme::Sp).unwrap();
-    let pipe = gmeans
-        .iter()
-        .find(|(s, ..)| *s == UpdateScheme::Pipeline)
-        .unwrap();
-    let o3 = gmeans.iter().find(|(s, ..)| *s == UpdateScheme::O3).unwrap();
-    let co = gmeans
-        .iter()
-        .find(|(s, ..)| *s == UpdateScheme::Coalescing)
-        .unwrap();
-
-    println!(
-        "pipelining speedup over sequential sp: {:.2}x (paper: 3.4x)",
-        sp.1 / pipe.1
-    );
-    println!(
-        "o3+coalescing speedup over sequential sp: {:.2}x (paper: 5.99x)",
-        sp.1 / co.1
-    );
-    println!(
-        "best-to-worst overhead ratio: {:.1}x (paper: 36x)",
-        (sp.1 - 1.0) / (co.1 - 1.0).max(1e-9)
-    );
-    println!();
-
-    // Coalescing's node-update reduction vs o3, summed over benchmarks.
-    let o3_updates: u64 = o3.2.iter().map(|(_, r)| r.engine.node_updates).sum();
-    let co_updates: u64 = co.2.iter().map(|(_, r)| r.engine.node_updates).sum();
-    println!(
-        "coalescing BMT node-update reduction vs o3: {:.1}% (paper: 26.1%)",
-        (1.0 - co_updates as f64 / o3_updates as f64) * 100.0
-    );
-    println!();
-
-    // §V-D: why the paper sticks to BMTs instead of SGX counter trees.
-    let g = SystemConfig::default().bmt;
-    println!(
-        "SGX counter-tree persist amplification at the default geometry: {:.0}x\n\
-         ({} NVM persists per store vs 1 for a BMT; paper §V-D)",
-        sgx::sgx_write_amplification(g),
-        sgx::sgx_persist_cost(g).nvm_persists
-    );
+    plp_bench::run_spec(plp_bench::specs::find("summary").expect("registered spec"));
 }

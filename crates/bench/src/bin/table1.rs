@@ -12,63 +12,6 @@
 //! | γ | wrong plaintext, BMT & MAC failure |
 //! | C | wrong plaintext, MAC failure |
 
-use plp_bench::{banner, RunSettings};
-use plp_core::{
-    run_with_crash, with_component_lost, ObserverExpectation, PersistImage, RecoveryChecker,
-    SystemConfig, TupleComponent, UpdateScheme,
-};
-use plp_events::Cycle;
-use plp_trace::{spec, TraceGenerator};
-
 fn main() {
-    let mut settings = RunSettings::from_args();
-    settings.instructions = settings.instructions.min(20_000); // records are heavy
-    banner("Table I", "recovery failures due to persist failure", settings);
-
-    let mut cfg = SystemConfig::for_scheme(UpdateScheme::Sp);
-    cfg.record_persists = true;
-    let profile = spec::benchmark("milc").expect("known benchmark");
-    let trace = TraceGenerator::new(profile.clone(), settings.seed).generate(settings.instructions);
-    let (report, _, _) = run_with_crash(&cfg, profile.base_ipc, &trace, None);
-    // The victim must be the *last* persist to its address, or a later
-    // persist re-supplies the lost component.
-    let victim = report.records.len() - 1;
-    let checker = RecoveryChecker::new(cfg.bmt, cfg.key);
-    // A finite crash point after everything drained: the lost
-    // component (stamped `Cycle::MAX`) is the only thing missing.
-    let crash_at = report.total_cycles + Cycle::new(1_000_000);
-
-    println!(
-        "{:<12} {:>6} {:>6} {:>6}   paper outcome",
-        "lost", "BMT", "MAC", "P"
-    );
-    let expected_text = [
-        (TupleComponent::Root, "BMT failure"),
-        (TupleComponent::Mac, "MAC failure"),
-        (
-            TupleComponent::Counter,
-            "wrong plaintext, BMT & MAC failure",
-        ),
-        (TupleComponent::Ciphertext, "wrong plaintext, MAC failure"),
-    ];
-    for (component, paper) in expected_text {
-        let faulty = with_component_lost(&report.records, victim, component);
-        let image = PersistImage::at_time(&faulty, crash_at, cfg.bmt, cfg.key);
-        let expected = ObserverExpectation::at_time(&report.records, crash_at);
-        let rec = checker.check(&image, &expected);
-        println!(
-            "{:<12} {:>6} {:>6} {:>6}   {}",
-            format!("{component:?}"),
-            if rec.bmt_failure { "FAIL" } else { "ok" },
-            if rec.mac_failures.is_empty() { "ok" } else { "FAIL" },
-            if rec.plaintext_failures.is_empty() { "ok" } else { "WRONG" },
-            paper
-        );
-    }
-    println!();
-    println!("(control: nothing lost)");
-    let image = PersistImage::at_time(&report.records, crash_at, cfg.bmt, cfg.key);
-    let expected = ObserverExpectation::at_time(&report.records, crash_at);
-    let rec = checker.check(&image, &expected);
-    println!("all components persisted -> {rec}");
+    plp_bench::run_spec(plp_bench::specs::find("table1").expect("registered spec"));
 }

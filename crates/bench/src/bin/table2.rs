@@ -11,69 +11,6 @@
 //! | M1 → M2 | MAC failure |
 //! | R1 → R2 | BMT failure for C1 |
 
-use plp_bench::{banner, RunSettings};
-use plp_core::{
-    run_with_crash, with_component_reordered, ObserverExpectation, PersistImage, RecoveryChecker,
-    SystemConfig, TupleComponent, UpdateScheme,
-};
-use plp_events::Cycle;
-use plp_trace::{spec, TraceGenerator};
-
 fn main() {
-    let mut settings = RunSettings::from_args();
-    settings.instructions = settings.instructions.min(20_000);
-    banner(
-        "Table II",
-        "recovery failures due to ordering violations",
-        settings,
-    );
-
-    let mut cfg = SystemConfig::for_scheme(UpdateScheme::Sp);
-    cfg.record_persists = true;
-    let profile = spec::benchmark("milc").expect("known benchmark");
-    let trace = TraceGenerator::new(profile.clone(), settings.seed).generate(settings.instructions);
-    let (report, _, _) = run_with_crash(&cfg, profile.base_ipc, &trace, None);
-    let checker = RecoveryChecker::new(cfg.bmt, cfg.key);
-
-    // Pick two mid-run persists to *different* pages so the component
-    // swap is meaningful, and crash between their completions.
-    let first = (report.records.len() / 2..report.records.len() - 1)
-        .find(|&i| report.records[i].addr.page() != report.records[i + 1].addr.page())
-        .expect("adjacent different-page persists");
-    let second = first + 1;
-    let t1 = report.records[first].completed_at();
-    let t2 = report.records[second].completed_at();
-    let crash_at = Cycle::new((t1.get() + t2.get()) / 2);
-
-    println!(
-        "α1 = {} ({}), α2 = {} ({}), crash between their persists",
-        report.records[first].id,
-        report.records[first].addr,
-        report.records[second].id,
-        report.records[second].addr
-    );
-    println!();
-    println!(
-        "{:<12} {:>6} {:>6} {:>6}   paper outcome",
-        "violated", "BMT", "MAC", "P"
-    );
-    let rows = [
-        (TupleComponent::Counter, "plaintext P1 not recoverable"),
-        (TupleComponent::Mac, "MAC failure"),
-        (TupleComponent::Root, "BMT failure for C1"),
-    ];
-    for (component, paper) in rows {
-        let faulty = with_component_reordered(&report.records, first, second, component);
-        let image = PersistImage::at_time(&faulty, crash_at, cfg.bmt, cfg.key);
-        let expected = ObserverExpectation::at_time(&report.records, crash_at);
-        let rec = checker.check(&image, &expected);
-        println!(
-            "{:<12} {:>6} {:>6} {:>6}   {}",
-            format!("{component:?}"),
-            if rec.bmt_failure { "FAIL" } else { "ok" },
-            if rec.mac_failures.is_empty() { "ok" } else { "FAIL" },
-            if rec.plaintext_failures.is_empty() { "ok" } else { "WRONG" },
-            paper
-        );
-    }
+    plp_bench::run_spec(plp_bench::specs::find("table2").expect("registered spec"));
 }

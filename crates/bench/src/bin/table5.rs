@@ -6,66 +6,6 @@
 //! published numbers print alongside. Paper averages:
 //! 119.51 / 1.61 / 32.60 / 12.41.
 
-use plp_bench::{banner, run, RunSettings};
-use plp_core::{ProtectionScope, SystemConfig, UpdateScheme};
-use plp_trace::spec;
-
 fn main() {
-    let settings = RunSettings::from_args();
-    banner("Table V", "persists per kilo-instruction (PPKI)", settings);
-
-    println!(
-        "{:<11} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
-        "bench", "sp_full", "(paper)", "wb_full", "(paper)", "sp", "(paper)", "o3", "(paper)"
-    );
-    let (mut s1, mut s2, mut s3, mut s4) = (0.0, 0.0, 0.0, 0.0);
-    let n = spec::all_benchmarks().len() as f64;
-    for profile in spec::all_benchmarks() {
-        let (p_full, p_wb, p_sp, p_o3) =
-            spec::table5_reference(&profile.name).expect("known benchmark");
-
-        let mut full_cfg = SystemConfig::for_scheme(UpdateScheme::Sp);
-        full_cfg.scope = ProtectionScope::Full;
-        let full = run(&profile, &full_cfg, settings).persist_ppki();
-
-        let mut wb_cfg = SystemConfig::for_scheme(UpdateScheme::SecureWb);
-        wb_cfg.scope = ProtectionScope::Full;
-        let wb_report = run(&profile, &wb_cfg, settings);
-        let wb = wb_report.writebacks as f64 * 1000.0 / wb_report.instructions as f64;
-
-        let sp = run(
-            &profile,
-            &SystemConfig::for_scheme(UpdateScheme::Sp),
-            settings,
-        )
-        .persist_ppki();
-
-        let o3 = run(
-            &profile,
-            &SystemConfig::for_scheme(UpdateScheme::O3),
-            settings,
-        )
-        .persist_ppki();
-
-        println!(
-            "{:<11} {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2}",
-            profile.name, full, p_full, wb, p_wb, sp, p_sp, o3, p_o3
-        );
-        s1 += full;
-        s2 += wb;
-        s3 += sp;
-        s4 += o3;
-    }
-    println!(
-        "{:<11} {:>9.2} {:>9} | {:>9.2} {:>9} | {:>9.2} {:>9} | {:>9.2} {:>9}",
-        "average",
-        s1 / n,
-        "119.51",
-        s2 / n,
-        "1.61",
-        s3 / n,
-        "32.60",
-        s4 / n,
-        "12.41"
-    );
+    plp_bench::run_spec(plp_bench::specs::find("table5").expect("registered spec"));
 }

@@ -3,30 +3,6 @@
 //! reference: sizes below 32 add overhead (~12% at 4 entries); sizes
 //! above 32 add nothing — which is why 32 is the default.
 
-use plp_bench::{banner, run, RunSettings, SeriesTable};
-use plp_core::{SystemConfig, UpdateScheme};
-use plp_trace::spec;
-
 fn main() {
-    let settings = RunSettings::from_args();
-    banner("WPQ sweep", "coalescing vs WPQ entries", settings);
-
-    let mut table = SeriesTable::new("bench", &["wpq4", "wpq8", "wpq16", "wpq32", "wpq64"]);
-    for profile in spec::all_benchmarks() {
-        let base = run(
-            &profile,
-            &SystemConfig::for_scheme(UpdateScheme::SecureWb),
-            settings,
-        );
-        let mut row = Vec::new();
-        for wpq in [4usize, 8, 16, 32, 64] {
-            let mut cfg = SystemConfig::for_scheme(UpdateScheme::Coalescing);
-            cfg.wpq_entries = wpq;
-            row.push(run(&profile, &cfg, settings).normalized_to(&base));
-        }
-        table.push(&profile.name, row);
-    }
-    print!("{}", table.render());
-    println!();
-    println!("paper reference: ~12% penalty at 4 entries vs 32; flat at >= 32");
+    plp_bench::run_spec(plp_bench::specs::find("wpq_sweep").expect("registered spec"));
 }

@@ -1,0 +1,285 @@
+//! The content-addressed on-disk run cache.
+//!
+//! A completed [`RunReport`] is a pure function of its request key
+//! (benchmark, configuration, instruction count, seed — see
+//! [`crate::RunRequest::key`]), so it can be stored on disk and reused
+//! by any later invocation with the same key. Files live under
+//! `results/cache/<fnv1a64(key)>.run` in a line-oriented
+//! `field value…` text format (the vendored serde stack is offline
+//! stubs, so the codec is hand-rolled and versioned by
+//! [`CACHE_FORMAT`], which is folded into every key: bumping it — or
+//! changing `SystemConfig`'s shape, which changes the key's `Debug`
+//! rendering — invalidates all previous entries).
+//!
+//! Robustness: the full key is stored in the file and verified on
+//! load, so a hash collision or a stale/corrupt file degrades to a
+//! cache miss, never a wrong result. Only reports without per-persist
+//! records are cached (`record_persists` runs are memory-heavy and
+//! used by crash analyses that need the records anyway).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use plp_cache::CacheStats;
+use plp_core::RunReport;
+use plp_events::Cycle;
+use plp_nvm::NvmStats;
+
+/// Cache format version; part of every content address.
+pub const CACHE_FORMAT: &str = "plp-run-cache v1";
+
+/// 64-bit FNV-1a of `key` — the content address.
+pub fn key_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The file a key's report is stored in.
+pub fn cache_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{:016x}.run", key_hash(key)))
+}
+
+fn encode_cache_stats(out: &mut String, name: &str, s: &CacheStats) {
+    let _ = writeln!(
+        out,
+        "{name} {} {} {} {}",
+        s.hits, s.misses, s.evictions, s.dirty_evictions
+    );
+}
+
+/// Serializes `report` for `key`.
+///
+/// # Panics
+///
+/// Panics if the report carries per-persist records — callers must
+/// only cache record-free runs.
+pub fn encode(key: &str, report: &RunReport) -> String {
+    assert!(
+        report.records.is_empty(),
+        "runs with persist records are not cacheable"
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "{CACHE_FORMAT}");
+    let _ = writeln!(out, "key {key}");
+    let _ = writeln!(out, "total_cycles {}", report.total_cycles.get());
+    let _ = writeln!(out, "instructions {}", report.instructions);
+    let _ = writeln!(out, "persists {}", report.persists);
+    let _ = writeln!(out, "writebacks {}", report.writebacks);
+    let _ = writeln!(out, "epochs {}", report.epochs);
+    let _ = writeln!(
+        out,
+        "engine {} {} {}",
+        report.engine.node_updates, report.engine.bmt_fetches, report.engine.persists
+    );
+    let _ = writeln!(
+        out,
+        "coalesced_saved_updates {}",
+        report.coalesced_saved_updates
+    );
+    let _ = writeln!(out, "page_overflows {}", report.page_overflows);
+    let _ = writeln!(out, "overflow_blocks {}", report.overflow_blocks);
+    let _ = writeln!(out, "wpq_stall_cycles {}", report.wpq_stall_cycles);
+    let _ = writeln!(out, "wpq_peak {}", report.wpq_peak);
+    encode_cache_stats(&mut out, "metadata.counter", &report.metadata.counter);
+    encode_cache_stats(&mut out, "metadata.mac", &report.metadata.mac);
+    encode_cache_stats(&mut out, "metadata.bmt", &report.metadata.bmt);
+    for (i, c) in report.data_caches.iter().enumerate() {
+        encode_cache_stats(&mut out, &format!("data_caches.{i}"), c);
+    }
+    let n = &report.nvm;
+    let _ = writeln!(
+        out,
+        "nvm {} {} {} {} {} {} {} {}",
+        n.reads,
+        n.writes,
+        n.writes_combined,
+        n.row_hits,
+        n.row_misses,
+        n.queue_stall_cycles,
+        n.read_retries,
+        n.read_failures
+    );
+    out.push_str("end\n");
+    out
+}
+
+struct Parser<'a> {
+    lines: std::str::Lines<'a>,
+}
+
+impl<'a> Parser<'a> {
+    /// Next line's fields after asserting its leading tag.
+    fn fields(&mut self, tag: &str) -> Option<Vec<&'a str>> {
+        let line = self.lines.next()?;
+        let rest = line.strip_prefix(tag)?.strip_prefix(' ')?;
+        Some(rest.split(' ').collect())
+    }
+
+    fn u64_field(&mut self, tag: &str) -> Option<u64> {
+        match self.fields(tag)?.as_slice() {
+            [v] => v.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn cache_stats(&mut self, tag: &str) -> Option<CacheStats> {
+        let f = self.fields(tag)?;
+        let v: Vec<u64> = f.iter().map(|s| s.parse().ok()).collect::<Option<_>>()?;
+        match v.as_slice() {
+            [hits, misses, evictions, dirty] => Some(CacheStats {
+                hits: *hits,
+                misses: *misses,
+                evictions: *evictions,
+                dirty_evictions: *dirty,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Deserializes a report, verifying format version and stored key.
+/// Any mismatch — truncation, corruption, version skew, hash
+/// collision — returns `None` (a cache miss).
+pub fn decode(key: &str, text: &str) -> Option<RunReport> {
+    let mut p = Parser {
+        lines: text.lines(),
+    };
+    if p.lines.next()? != CACHE_FORMAT {
+        return None;
+    }
+    if p.lines.next()?.strip_prefix("key ")? != key {
+        return None;
+    }
+    let mut report = RunReport {
+        total_cycles: Cycle::new(p.u64_field("total_cycles")?),
+        instructions: p.u64_field("instructions")?,
+        persists: p.u64_field("persists")?,
+        writebacks: p.u64_field("writebacks")?,
+        epochs: p.u64_field("epochs")?,
+        ..RunReport::default()
+    };
+    match p.fields("engine")?.as_slice() {
+        [a, b, c] => {
+            report.engine.node_updates = a.parse().ok()?;
+            report.engine.bmt_fetches = b.parse().ok()?;
+            report.engine.persists = c.parse().ok()?;
+        }
+        _ => return None,
+    }
+    report.coalesced_saved_updates = p.u64_field("coalesced_saved_updates")?;
+    report.page_overflows = p.u64_field("page_overflows")?;
+    report.overflow_blocks = p.u64_field("overflow_blocks")?;
+    report.wpq_stall_cycles = p.u64_field("wpq_stall_cycles")?;
+    report.wpq_peak = p.u64_field("wpq_peak")? as usize;
+    report.metadata.counter = p.cache_stats("metadata.counter")?;
+    report.metadata.mac = p.cache_stats("metadata.mac")?;
+    report.metadata.bmt = p.cache_stats("metadata.bmt")?;
+    for i in 0..3 {
+        report.data_caches[i] = p.cache_stats(&format!("data_caches.{i}"))?;
+    }
+    let f = p.fields("nvm")?;
+    let v: Vec<u64> = f.iter().map(|s| s.parse().ok()).collect::<Option<_>>()?;
+    report.nvm = match v.as_slice() {
+        [reads, writes, combined, row_hits, row_misses, stall, retries, failures] => NvmStats {
+            reads: *reads,
+            writes: *writes,
+            writes_combined: *combined,
+            row_hits: *row_hits,
+            row_misses: *row_misses,
+            queue_stall_cycles: *stall,
+            read_retries: *retries,
+            read_failures: *failures,
+        },
+        _ => return None,
+    };
+    if p.lines.next()? != "end" {
+        return None;
+    }
+    Some(report)
+}
+
+/// Loads the cached report for `key`, or `None` on miss/corruption.
+pub fn load(dir: &Path, key: &str) -> Option<RunReport> {
+    let text = std::fs::read_to_string(cache_path(dir, key)).ok()?;
+    decode(key, &text)
+}
+
+/// Stores `report` under `key`, creating the directory as needed.
+/// Failures are reported to stderr but never fail the run — the cache
+/// is an accelerator, not a dependency. Reports with persist records
+/// are silently skipped.
+pub fn store(dir: &Path, key: &str, report: &RunReport) {
+    if !report.records.is_empty() {
+        return;
+    }
+    let path = cache_path(dir, key);
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        // Write-then-rename so a crashed/killed harness never leaves a
+        // torn entry behind at the final path.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, encode(key, report))?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    };
+    if let Err(e) = write() {
+        eprintln!("[plp-bench] run-cache write failed for {path:?}: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plp_core::{run_benchmark, SystemConfig, UpdateScheme};
+    use plp_trace::spec;
+
+    fn sample() -> (String, RunReport) {
+        let profile = spec::benchmark("gcc").unwrap();
+        let cfg = SystemConfig::for_scheme(UpdateScheme::Coalescing);
+        let report = run_benchmark(&profile, &cfg, 3_000, 5);
+        (format!("{CACHE_FORMAT}|demo|{:?}", cfg), report)
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let (key, report) = sample();
+        let text = encode(&key, &report);
+        assert_eq!(decode(&key, &text), Some(report));
+    }
+
+    #[test]
+    fn wrong_key_and_corruption_are_misses() {
+        let (key, report) = sample();
+        let text = encode(&key, &report);
+        assert_eq!(decode("other key", &text), None);
+        // Truncations at any line boundary must degrade to a miss.
+        let lines: Vec<&str> = text.lines().collect();
+        for keep in 0..lines.len() {
+            let truncated = lines[..keep].join("\n");
+            assert_eq!(decode(&key, &truncated), None, "kept {keep} lines");
+        }
+        assert_eq!(decode(&key, &text.replace("persists", "persits")), None);
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let (key, report) = sample();
+        let dir = std::env::temp_dir().join(format!("plp-cache-test-{}", std::process::id()));
+        assert_eq!(load(&dir, &key), None);
+        store(&dir, &key, &report);
+        assert_eq!(load(&dir, &key), Some(report));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        // FNV-1a reference value: hashing must never drift across
+        // refactors, or every cache entry silently invalidates.
+        assert_eq!(key_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(key_hash("a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,13 +1,23 @@
 //! Shared support for the experiment harness.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the
-//! paper (see `DESIGN.md` §4 for the experiment index). This library
-//! holds the common machinery: run settings, result caching across
-//! schemes, table formatting and geometric means.
+//! paper (see `DESIGN.md` §4 for the experiment index) by looking its
+//! [`ExperimentSpec`] up in the declarative registry ([`specs`]) and
+//! handing it to [`run_spec`]. The `all` binary executes every spec's
+//! requests through one deduplicated, parallel, disk-cached run
+//! [`matrix`]. This library holds the common machinery: run settings,
+//! the matrix and cache, table formatting and geometric means.
 
-use plp_core::{run_benchmark, RunReport, SystemConfig, UpdateScheme};
+pub mod cache;
+pub mod matrix;
+pub mod specs;
+
+use plp_core::{run_benchmark, RunReport, SystemConfig};
 use plp_events::stats::geometric_mean;
 use plp_trace::{spec, WorkloadProfile};
+
+pub use matrix::{execute, default_cache_dir, MatrixOptions, MatrixStats, ResultSet, RunRequest};
+pub use specs::{all_specs, ExperimentSpec};
 
 /// Harness-wide run settings, parsed from the command line.
 ///
@@ -143,29 +153,37 @@ impl SeriesTable {
     }
 }
 
-/// Prints a standard experiment banner.
-pub fn banner(id: &str, what: &str, settings: RunSettings) {
-    println!("== {id}: {what}");
-    println!(
-        "   ({} instructions per benchmark, seed {})",
+/// The standard experiment banner as a string.
+pub fn banner_string(id: &str, what: &str, settings: RunSettings) -> String {
+    format!(
+        "== {id}: {what}\n   ({} instructions per benchmark, seed {})\n\n",
         settings.instructions, settings.seed
-    );
-    println!();
+    )
 }
 
-/// The four strict-persistency-comparison schemes of Fig. 8.
-pub const FIG8_SCHEMES: [UpdateScheme; 3] = [
-    UpdateScheme::Unordered,
-    UpdateScheme::Sp,
-    UpdateScheme::Pipeline,
-];
+/// Prints a standard experiment banner.
+pub fn banner(id: &str, what: &str, settings: RunSettings) {
+    print!("{}", banner_string(id, what, settings));
+}
 
-/// The epoch-persistency schemes of Fig. 10.
-pub const FIG10_SCHEMES: [UpdateScheme; 2] = [UpdateScheme::O3, UpdateScheme::Coalescing];
+/// The whole standalone-binary behaviour of one experiment: parse
+/// `[instructions] [seed]` from the command line, execute the spec's
+/// run matrix serially and uncached (exactly what the hand-rolled
+/// binaries did), and print the artefact to stdout. Execution
+/// statistics go to stderr so stdout stays byte-identical to the
+/// pre-registry binaries.
+pub fn run_spec(spec: &ExperimentSpec) {
+    let raw = RunSettings::from_args();
+    let requests = spec.runs_needed(raw);
+    let (results, stats) = matrix::execute(&requests, &MatrixOptions::serial());
+    print!("{}", spec.output(&results, raw));
+    eprintln!("[plp-bench] {}: {}", spec.id, stats.summary());
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use plp_core::UpdateScheme;
 
     #[test]
     fn settings_defaults() {

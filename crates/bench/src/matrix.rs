@@ -1,0 +1,349 @@
+//! The run matrix: deduplicated, parallel, cached execution of
+//! `(benchmark, config, settings)` simulation requests.
+//!
+//! Every experiment declares the runs it needs as [`RunRequest`]s; the
+//! matrix executes each *distinct* request exactly once — however many
+//! figures ask for it — on a `std::thread::scope` worker pool, sharing
+//! generated traces through a [`TraceStore`] and completed reports
+//! through the on-disk run cache. Results are keyed, not ordered, so
+//! rendered output is identical no matter how the pool schedules.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use plp_core::{RunReport, SimSetup, SystemConfig};
+use plp_events::stats::Throughput;
+use plp_trace::{spec, TraceStore};
+
+use crate::cache;
+use crate::RunSettings;
+
+/// One simulation the harness wants: a benchmark trace under a
+/// configuration, at a given length and seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// Benchmark name (one of [`spec::all_benchmarks`]).
+    pub bench: String,
+    /// Full system configuration.
+    pub config: SystemConfig,
+    /// Instructions to simulate.
+    pub instructions: u64,
+    /// Trace-generation seed.
+    pub seed: u64,
+}
+
+impl RunRequest {
+    /// A request for `bench` under `config` at `settings`.
+    pub fn new(bench: &str, config: SystemConfig, settings: RunSettings) -> Self {
+        RunRequest {
+            bench: bench.to_string(),
+            config,
+            instructions: settings.instructions,
+            seed: settings.seed,
+        }
+    }
+
+    /// The canonical identity of this request: every field that can
+    /// change the simulation's outcome, spelled out. Two requests with
+    /// equal keys produce identical [`RunReport`]s (the simulator is
+    /// deterministic), so the key doubles as the dedup key and the
+    /// content address of the run cache.
+    pub fn key(&self) -> String {
+        format!(
+            "{}|bench={}|instr={}|seed={}|{:?}",
+            cache::CACHE_FORMAT,
+            self.bench,
+            self.instructions,
+            self.seed,
+            self.config
+        )
+    }
+}
+
+/// Keyed results of an executed matrix.
+#[derive(Debug, Default)]
+pub struct ResultSet {
+    reports: HashMap<String, RunReport>,
+}
+
+impl ResultSet {
+    /// The report for `request`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix never executed this request — an
+    /// experiment spec whose `render` asks for a run its `requests`
+    /// didn't declare.
+    pub fn get(&self, request: &RunRequest) -> &RunReport {
+        self.reports.get(&request.key()).unwrap_or_else(|| {
+            panic!(
+                "run matrix has no result for {}/{} (spec render/requests mismatch)",
+                request.bench, request.config.scheme
+            )
+        })
+    }
+
+    /// Convenience lookup by parts (see [`RunRequest::new`]).
+    pub fn report(&self, bench: &str, config: &SystemConfig, settings: RunSettings) -> &RunReport {
+        self.get(&RunRequest::new(bench, config.clone(), settings))
+    }
+
+    /// Number of distinct runs held.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+}
+
+/// How to execute a matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixOptions {
+    /// Worker threads (1 = run serially on the calling thread).
+    pub threads: usize,
+    /// Run-cache directory; `None` disables the cache entirely.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl MatrixOptions {
+    /// Serial, uncached execution — exactly what the standalone
+    /// experiment binaries do.
+    pub fn serial() -> Self {
+        MatrixOptions {
+            threads: 1,
+            cache_dir: None,
+        }
+    }
+
+    /// Parallel execution with the default cache under
+    /// `results/cache/`.
+    pub fn parallel(threads: usize) -> Self {
+        MatrixOptions {
+            threads: threads.max(1),
+            cache_dir: Some(default_cache_dir()),
+        }
+    }
+}
+
+/// The default on-disk run-cache location.
+pub fn default_cache_dir() -> PathBuf {
+    PathBuf::from("results").join("cache")
+}
+
+/// What executing a matrix cost.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixStats {
+    /// Requests submitted (duplicates included).
+    pub requested: usize,
+    /// Distinct runs after deduplication.
+    pub unique: usize,
+    /// Distinct runs served from the on-disk cache.
+    pub cache_hits: usize,
+    /// Elapsed wall-clock for the whole matrix.
+    pub elapsed: Duration,
+    /// Simulation throughput summed across workers (CPU time, not
+    /// elapsed time).
+    pub throughput: Throughput,
+}
+
+impl MatrixStats {
+    /// A one-line human summary (the harness prints it to stderr so
+    /// experiment stdout stays byte-identical across serial, parallel
+    /// and cached executions).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} runs ({} unique, {} cached) in {:.2}s — {:.1} runs/s, {:.2}M sim-cycles/s",
+            self.requested,
+            self.unique,
+            self.cache_hits,
+            self.elapsed.as_secs_f64(),
+            self.throughput.runs_per_sec(),
+            self.throughput.cycles_per_sec() / 1e6,
+        )
+    }
+}
+
+/// Executes every distinct request exactly once and returns the keyed
+/// results plus execution statistics.
+///
+/// Determinism: the result of each run depends only on its request
+/// (the simulator is seeded and pure), distinct runs share nothing,
+/// and results are keyed by request identity — so thread count,
+/// scheduling order and cache state cannot change any report, only the
+/// wall-clock. Workers claim jobs off a shared atomic index; each
+/// writes its result into that job's dedicated slot.
+pub fn execute(requests: &[RunRequest], opts: &MatrixOptions) -> (ResultSet, MatrixStats) {
+    let started = Instant::now();
+
+    // Deduplicate, preserving first-seen order.
+    let mut unique: Vec<&RunRequest> = Vec::new();
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for req in requests {
+        seen.entry(req.key()).or_insert_with(|| {
+            unique.push(req);
+            unique.len() - 1
+        });
+    }
+
+    let traces = TraceStore::new();
+    let slots: Vec<OnceLock<RunReport>> = (0..unique.len()).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let cache_hits = AtomicUsize::new(0);
+    let throughput = Mutex::new(Throughput::new());
+
+    let worker = || {
+        let mut local = Throughput::new();
+        loop {
+            let idx = next.fetch_add(1, Ordering::Relaxed);
+            let Some(req) = unique.get(idx) else { break };
+            let key = req.key();
+            let run_started = Instant::now();
+            let report = match opts
+                .cache_dir
+                .as_deref()
+                .and_then(|dir| cache::load(dir, &key))
+            {
+                Some(cached) => {
+                    cache_hits.fetch_add(1, Ordering::Relaxed);
+                    cached
+                }
+                None => {
+                    let fresh = run_request(req, &traces);
+                    if let Some(dir) = opts.cache_dir.as_deref() {
+                        cache::store(dir, &key, &fresh);
+                    }
+                    fresh
+                }
+            };
+            local.record(report.total_cycles.get(), run_started.elapsed());
+            slots[idx].set(report).expect("each job claimed once");
+        }
+        throughput.lock().unwrap().merge(local);
+    };
+
+    if opts.threads <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..opts.threads.min(unique.len().max(1)) {
+                s.spawn(worker);
+            }
+        });
+    }
+
+    let mut reports = HashMap::with_capacity(unique.len());
+    for (req, slot) in unique.iter().zip(slots) {
+        reports.insert(req.key(), slot.into_inner().expect("all jobs completed"));
+    }
+    let stats = MatrixStats {
+        requested: requests.len(),
+        unique: seen.len(),
+        cache_hits: cache_hits.into_inner(),
+        elapsed: started.elapsed(),
+        throughput: throughput.into_inner().unwrap(),
+    };
+    (ResultSet { reports }, stats)
+}
+
+/// Runs one request, sharing its trace through `traces`.
+fn run_request(req: &RunRequest, traces: &TraceStore) -> RunReport {
+    let profile = spec::benchmark(&req.bench)
+        .unwrap_or_else(|| panic!("unknown benchmark '{}' in run request", req.bench));
+    let trace = traces.get(&profile, req.instructions, req.seed);
+    let setup = SimSetup::for_profile(req.config.clone(), &profile, req.seed)
+        .unwrap_or_else(|e| panic!("invalid configuration in run request: {e}"));
+    setup.run(&trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plp_core::{run_benchmark, UpdateScheme};
+
+    fn tiny() -> RunSettings {
+        RunSettings {
+            instructions: 3_000,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn matrix_matches_direct_runs_and_dedupes() {
+        let s = tiny();
+        let cfg = SystemConfig::for_scheme(UpdateScheme::Sp);
+        let reqs = vec![
+            RunRequest::new("gcc", cfg.clone(), s),
+            RunRequest::new("milc", cfg.clone(), s),
+            RunRequest::new("gcc", cfg.clone(), s), // duplicate
+        ];
+        let (results, stats) = execute(&reqs, &MatrixOptions::serial());
+        assert_eq!(stats.requested, 3);
+        assert_eq!(stats.unique, 2);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(results.len(), 2);
+        let direct = run_benchmark(
+            &spec::benchmark("gcc").unwrap(),
+            &cfg,
+            s.instructions,
+            s.seed,
+        );
+        assert_eq!(*results.report("gcc", &cfg, s), direct);
+    }
+
+    #[test]
+    fn parallel_execution_equals_serial() {
+        let s = tiny();
+        let mut reqs = Vec::new();
+        for scheme in UpdateScheme::all() {
+            for bench in ["gcc", "milc", "astar"] {
+                reqs.push(RunRequest::new(
+                    bench,
+                    SystemConfig::for_scheme(scheme),
+                    s,
+                ));
+            }
+        }
+        let (serial, _) = execute(&reqs, &MatrixOptions::serial());
+        let (parallel, _) = execute(
+            &reqs,
+            &MatrixOptions {
+                threads: 4,
+                cache_dir: None,
+            },
+        );
+        for req in &reqs {
+            assert_eq!(serial.get(req), parallel.get(req), "{}", req.key());
+        }
+    }
+
+    #[test]
+    fn distinct_settings_have_distinct_keys() {
+        let cfg = SystemConfig::for_scheme(UpdateScheme::O3);
+        let a = RunRequest::new("gcc", cfg.clone(), tiny());
+        let mut other = tiny();
+        other.seed = 6;
+        let b = RunRequest::new("gcc", cfg.clone(), other);
+        let mut cfg2 = cfg.clone();
+        cfg2.epoch_size = 64;
+        let c = RunRequest::new("gcc", cfg2, tiny());
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    #[should_panic(expected = "no result")]
+    fn missing_result_is_loud() {
+        let results = ResultSet::default();
+        let _ = results.report(
+            "gcc",
+            &SystemConfig::for_scheme(UpdateScheme::Sp),
+            tiny(),
+        );
+    }
+}

@@ -1,0 +1,1059 @@
+//! The declarative experiment registry: every table and figure of the
+//! paper as an [`ExperimentSpec`] — what runs it needs and how to
+//! render them — instead of a hand-rolled binary loop.
+//!
+//! A spec is two pure functions over [`RunSettings`]: `requests`
+//! declares the `(benchmark, config)` runs the artefact is computed
+//! from, and `render` turns the keyed [`ResultSet`] into the exact
+//! text the artefact prints. The split is what buys the harness its
+//! speed: the [`crate::matrix`] executes the union of every spec's
+//! requests once — deduplicated, in parallel, through the run cache —
+//! and rendering stays deterministic because it never runs anything.
+
+use std::fmt::Write as _;
+
+use plp_core::{
+    run_with_crash, sgx, with_component_lost, with_component_reordered, ObserverExpectation,
+    PersistImage, ProtectionScope, RecoveryChecker, RunReport, SystemConfig, TupleComponent,
+    UpdateScheme,
+};
+use plp_events::stats::geometric_mean;
+use plp_events::Cycle;
+use plp_trace::{spec, TraceGenerator};
+
+use crate::matrix::{ResultSet, RunRequest};
+use crate::{banner_string, RunSettings, SeriesTable};
+
+/// One paper artefact: its identity, the runs it needs and its
+/// renderer.
+pub struct ExperimentSpec {
+    /// Binary/artefact name (`fig8`, `table5`, …).
+    pub id: &'static str,
+    /// Banner title (`Fig. 8`, `Table V`, …).
+    pub title: &'static str,
+    /// Banner description.
+    pub what: &'static str,
+    /// Settings adjustment (e.g. the crash tables clamp instruction
+    /// count because per-persist records are memory-heavy).
+    pub adjust: fn(RunSettings) -> RunSettings,
+    /// The matrix runs the artefact needs at the given (already
+    /// adjusted) settings.
+    pub requests: fn(RunSettings) -> Vec<RunRequest>,
+    /// Renders the artefact body (everything after the banner) from
+    /// the executed matrix.
+    pub render: fn(&ResultSet, RunSettings) -> String,
+}
+
+impl ExperimentSpec {
+    /// This spec's effective settings for raw command-line settings.
+    pub fn settings(&self, raw: RunSettings) -> RunSettings {
+        (self.adjust)(raw)
+    }
+
+    /// The matrix runs this spec needs, at raw command-line settings.
+    pub fn runs_needed(&self, raw: RunSettings) -> Vec<RunRequest> {
+        (self.requests)(self.settings(raw))
+    }
+
+    /// The spec's complete stdout: banner plus rendered body,
+    /// byte-identical to what the standalone binary prints.
+    pub fn output(&self, results: &ResultSet, raw: RunSettings) -> String {
+        let s = self.settings(raw);
+        format!(
+            "{}{}",
+            banner_string(self.title, self.what, s),
+            (self.render)(results, s)
+        )
+    }
+}
+
+/// Every registered artefact, in `all`-binary output order.
+pub fn all_specs() -> &'static [ExperimentSpec] {
+    &ALL_SPECS
+}
+
+/// Looks an artefact up by id.
+pub fn find(id: &str) -> Option<&'static ExperimentSpec> {
+    ALL_SPECS.iter().find(|s| s.id == id)
+}
+
+fn identity(s: RunSettings) -> RunSettings {
+    s
+}
+
+/// The crash-analysis tables keep full per-persist records, which are
+/// memory-heavy — they clamp the instruction count.
+fn clamp_for_records(mut s: RunSettings) -> RunSettings {
+    s.instructions = s.instructions.min(20_000);
+    s
+}
+
+fn cfg(scheme: UpdateScheme) -> SystemConfig {
+    SystemConfig::for_scheme(scheme)
+}
+
+fn scoped(scheme: UpdateScheme, scope: ProtectionScope) -> SystemConfig {
+    let mut c = cfg(scheme);
+    c.scope = scope;
+    c
+}
+
+fn req(bench: &str, config: SystemConfig, s: RunSettings) -> RunRequest {
+    RunRequest::new(bench, config, s)
+}
+
+// ---------------------------------------------------------------- fig8
+
+fn fig8_table(results: &ResultSet, scope: ProtectionScope, s: RunSettings) -> SeriesTable {
+    let cols = UpdateScheme::strict().map(|u| u.name());
+    let mut table = SeriesTable::new("bench", &cols);
+    for profile in spec::all_benchmarks() {
+        let base = results.report(&profile.name, &scoped(UpdateScheme::SecureWb, scope), s);
+        let row = UpdateScheme::strict()
+            .iter()
+            .map(|&scheme| {
+                results
+                    .report(&profile.name, &scoped(scheme, scope), s)
+                    .normalized_to(base)
+            })
+            .collect();
+        table.push(&profile.name, row);
+    }
+    table
+}
+
+fn fig8_requests(s: RunSettings) -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for scope in [ProtectionScope::NonStack, ProtectionScope::Full] {
+        for profile in spec::all_benchmarks() {
+            reqs.push(req(&profile.name, scoped(UpdateScheme::SecureWb, scope), s));
+            for scheme in UpdateScheme::strict() {
+                reqs.push(req(&profile.name, scoped(scheme, scope), s));
+            }
+        }
+    }
+    reqs
+}
+
+fn fig8_render(results: &ResultSet, s: RunSettings) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "-- default scope (non-stack persists)");
+    out.push_str(&fig8_table(results, ProtectionScope::NonStack, s).render());
+    out.push('\n');
+    let _ = writeln!(out, "-- full-memory scope (all stores persist)");
+    out.push_str(&fig8_table(results, ProtectionScope::Full, s).render());
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "paper reference gmeans: sp 7.2 (30.7 full), pipeline 2.1 (6.9 full)"
+    );
+    out
+}
+
+// ---------------------------------------------------------------- fig9
+
+const FIG9_MACS: [u64; 4] = [0, 20, 40, 80];
+
+fn fig9_configs() -> Vec<SystemConfig> {
+    let mut configs = Vec::new();
+    for mac in FIG9_MACS {
+        let mut c = cfg(UpdateScheme::Sp);
+        c.mac_latency = Cycle::new(mac);
+        configs.push(c);
+    }
+    let mut ideal = cfg(UpdateScheme::Sp);
+    ideal.ideal_metadata = true;
+    configs.push(ideal);
+    configs
+}
+
+fn fig9_requests(s: RunSettings) -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for profile in spec::all_benchmarks() {
+        reqs.push(req(&profile.name, cfg(UpdateScheme::SecureWb), s));
+        for c in fig9_configs() {
+            reqs.push(req(&profile.name, c, s));
+        }
+    }
+    reqs
+}
+
+fn fig9_render(results: &ResultSet, s: RunSettings) -> String {
+    let mut table = SeriesTable::new("bench", &["mac0", "mac20", "mac40", "mac80", "MDC"]);
+    for profile in spec::all_benchmarks() {
+        let base = results.report(&profile.name, &cfg(UpdateScheme::SecureWb), s);
+        let row = fig9_configs()
+            .iter()
+            .map(|c| results.report(&profile.name, c, s).normalized_to(base))
+            .collect();
+        table.push(&profile.name, row);
+    }
+    let mut out = table.render();
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "paper reference: overhead ~ proportional to MAC latency; MDC ~ 1.0"
+    );
+    out
+}
+
+// --------------------------------------------------------------- fig10
+
+fn fig10_table(results: &ResultSet, scope: ProtectionScope, s: RunSettings) -> SeriesTable {
+    let cols = UpdateScheme::epoch().map(|u| u.name());
+    let mut table = SeriesTable::new("bench", &cols);
+    for profile in spec::all_benchmarks() {
+        let base = results.report(&profile.name, &scoped(UpdateScheme::SecureWb, scope), s);
+        let row = UpdateScheme::epoch()
+            .iter()
+            .map(|&scheme| {
+                results
+                    .report(&profile.name, &scoped(scheme, scope), s)
+                    .normalized_to(base)
+            })
+            .collect();
+        table.push(&profile.name, row);
+    }
+    table
+}
+
+fn fig10_requests(s: RunSettings) -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for scope in [ProtectionScope::NonStack, ProtectionScope::Full] {
+        for profile in spec::all_benchmarks() {
+            reqs.push(req(&profile.name, scoped(UpdateScheme::SecureWb, scope), s));
+            for scheme in UpdateScheme::epoch() {
+                reqs.push(req(&profile.name, scoped(scheme, scope), s));
+            }
+        }
+    }
+    reqs
+}
+
+fn fig10_render(results: &ResultSet, s: RunSettings) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "-- default scope (non-stack persists)");
+    out.push_str(&fig10_table(results, ProtectionScope::NonStack, s).render());
+    out.push('\n');
+    let _ = writeln!(out, "-- full-memory scope");
+    out.push_str(&fig10_table(results, ProtectionScope::Full, s).render());
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "paper reference gmeans: o3 1.207 (2.42 full), coalescing 1.202 (2.35 full)"
+    );
+    out
+}
+
+// --------------------------------------------------------- fig11/fig12
+
+const EPOCH_SWEEP: [usize; 7] = [4, 8, 16, 32, 64, 128, 256];
+const EPOCH_COLUMNS: [&str; 7] = ["ep4", "ep8", "ep16", "ep32", "ep64", "ep128", "ep256"];
+
+fn epoch_cfg(epoch: usize) -> SystemConfig {
+    let mut c = cfg(UpdateScheme::Coalescing);
+    c.epoch_size = epoch;
+    c
+}
+
+fn fig11_requests(s: RunSettings) -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for profile in spec::all_benchmarks() {
+        for epoch in EPOCH_SWEEP {
+            reqs.push(req(&profile.name, epoch_cfg(epoch), s));
+        }
+    }
+    reqs
+}
+
+fn fig11_render(results: &ResultSet, s: RunSettings) -> String {
+    let mut table = SeriesTable::new("bench", &EPOCH_COLUMNS);
+    for profile in spec::all_benchmarks() {
+        let row = EPOCH_SWEEP
+            .iter()
+            .map(|&epoch| {
+                results
+                    .report(&profile.name, &epoch_cfg(epoch), s)
+                    .persist_ppki()
+            })
+            .collect();
+        table.push(&profile.name, row);
+    }
+    let mut out = table.precision(2).render();
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "paper reference: monotonically decreasing; Table V's o3 column is ep32"
+    );
+    out
+}
+
+fn fig12_requests(s: RunSettings) -> Vec<RunRequest> {
+    let mut reqs = fig11_requests(s);
+    for profile in spec::all_benchmarks() {
+        reqs.push(req(&profile.name, cfg(UpdateScheme::SecureWb), s));
+    }
+    reqs
+}
+
+fn fig12_render(results: &ResultSet, s: RunSettings) -> String {
+    let mut table = SeriesTable::new("bench", &EPOCH_COLUMNS);
+    for profile in spec::all_benchmarks() {
+        let base = results.report(&profile.name, &cfg(UpdateScheme::SecureWb), s);
+        let row = EPOCH_SWEEP
+            .iter()
+            .map(|&epoch| {
+                results
+                    .report(&profile.name, &epoch_cfg(epoch), s)
+                    .normalized_to(base)
+            })
+            .collect();
+        table.push(&profile.name, row);
+    }
+    let mut out = table.render();
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "paper reference: falling with epoch size, with a late-sweep upturn on some benchmarks"
+    );
+    out
+}
+
+// -------------------------------------------------------------- table5
+
+fn table5_configs() -> [SystemConfig; 4] {
+    [
+        scoped(UpdateScheme::Sp, ProtectionScope::Full),
+        scoped(UpdateScheme::SecureWb, ProtectionScope::Full),
+        cfg(UpdateScheme::Sp),
+        cfg(UpdateScheme::O3),
+    ]
+}
+
+fn table5_requests(s: RunSettings) -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for profile in spec::all_benchmarks() {
+        for c in table5_configs() {
+            reqs.push(req(&profile.name, c, s));
+        }
+    }
+    reqs
+}
+
+fn table5_render(results: &ResultSet, s: RunSettings) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<11} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+        "bench", "sp_full", "(paper)", "wb_full", "(paper)", "sp", "(paper)", "o3", "(paper)"
+    );
+    let (mut s1, mut s2, mut s3, mut s4) = (0.0, 0.0, 0.0, 0.0);
+    let n = spec::all_benchmarks().len() as f64;
+    let [full_cfg, wb_cfg, sp_cfg, o3_cfg] = table5_configs();
+    for profile in spec::all_benchmarks() {
+        let (p_full, p_wb, p_sp, p_o3) =
+            spec::table5_reference(&profile.name).expect("known benchmark");
+        let full = results.report(&profile.name, &full_cfg, s).persist_ppki();
+        let wb_report = results.report(&profile.name, &wb_cfg, s);
+        let wb = wb_report.writebacks as f64 * 1000.0 / wb_report.instructions as f64;
+        let sp = results.report(&profile.name, &sp_cfg, s).persist_ppki();
+        let o3 = results.report(&profile.name, &o3_cfg, s).persist_ppki();
+        let _ = writeln!(
+            out,
+            "{:<11} {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2}",
+            profile.name, full, p_full, wb, p_wb, sp, p_sp, o3, p_o3
+        );
+        s1 += full;
+        s2 += wb;
+        s3 += sp;
+        s4 += o3;
+    }
+    let _ = writeln!(
+        out,
+        "{:<11} {:>9.2} {:>9} | {:>9.2} {:>9} | {:>9.2} {:>9} | {:>9.2} {:>9}",
+        "average",
+        s1 / n,
+        "119.51",
+        s2 / n,
+        "1.61",
+        s3 / n,
+        "32.60",
+        s4 / n,
+        "12.41"
+    );
+    out
+}
+
+// ----------------------------------------------------------- §VII sweeps
+
+const WPQ_SWEEP: [usize; 5] = [4, 8, 16, 32, 64];
+
+fn wpq_cfg(entries: usize) -> SystemConfig {
+    let mut c = cfg(UpdateScheme::Coalescing);
+    c.wpq_entries = entries;
+    c
+}
+
+fn wpq_requests(s: RunSettings) -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for profile in spec::all_benchmarks() {
+        reqs.push(req(&profile.name, cfg(UpdateScheme::SecureWb), s));
+        for entries in WPQ_SWEEP {
+            reqs.push(req(&profile.name, wpq_cfg(entries), s));
+        }
+    }
+    reqs
+}
+
+fn wpq_render(results: &ResultSet, s: RunSettings) -> String {
+    let mut table = SeriesTable::new("bench", &["wpq4", "wpq8", "wpq16", "wpq32", "wpq64"]);
+    for profile in spec::all_benchmarks() {
+        let base = results.report(&profile.name, &cfg(UpdateScheme::SecureWb), s);
+        let row = WPQ_SWEEP
+            .iter()
+            .map(|&entries| {
+                results
+                    .report(&profile.name, &wpq_cfg(entries), s)
+                    .normalized_to(base)
+            })
+            .collect();
+        table.push(&profile.name, row);
+    }
+    let mut out = table.render();
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "paper reference: ~12% penalty at 4 entries vs 32; flat at >= 32"
+    );
+    out
+}
+
+const MDC_SWEEP: [usize; 4] = [32, 64, 128, 256];
+
+fn mdc_cfg(kb: usize) -> SystemConfig {
+    let mut c = cfg(UpdateScheme::Coalescing);
+    c.metadata_cache_bytes = kb << 10;
+    c
+}
+
+fn mdc_requests(s: RunSettings) -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for profile in spec::all_benchmarks() {
+        reqs.push(req(&profile.name, cfg(UpdateScheme::SecureWb), s));
+        for kb in MDC_SWEEP {
+            reqs.push(req(&profile.name, mdc_cfg(kb), s));
+        }
+    }
+    reqs
+}
+
+fn mdc_render(results: &ResultSet, s: RunSettings) -> String {
+    let mut table = SeriesTable::new("bench", &["32KB", "64KB", "128KB", "256KB"]);
+    for profile in spec::all_benchmarks() {
+        let base = results.report(&profile.name, &cfg(UpdateScheme::SecureWb), s);
+        let row = MDC_SWEEP
+            .iter()
+            .map(|&kb| {
+                results
+                    .report(&profile.name, &mdc_cfg(kb), s)
+                    .normalized_to(base)
+            })
+            .collect();
+        table.push(&profile.name, row);
+    }
+    let mut out = table.render();
+    out.push('\n');
+    let _ = writeln!(out, "paper reference: <= ~2% spread across capacities");
+    out
+}
+
+const LLC_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn llc_cfg(scheme: UpdateScheme, mb: usize) -> SystemConfig {
+    let mut c = cfg(scheme);
+    c.llc_bytes = mb << 20;
+    c
+}
+
+fn llc_requests(s: RunSettings) -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for profile in spec::all_benchmarks() {
+        for mb in LLC_SWEEP {
+            reqs.push(req(&profile.name, llc_cfg(UpdateScheme::SecureWb, mb), s));
+            reqs.push(req(&profile.name, llc_cfg(UpdateScheme::Coalescing, mb), s));
+        }
+    }
+    reqs
+}
+
+fn llc_render(results: &ResultSet, s: RunSettings) -> String {
+    let mut table = SeriesTable::new("bench", &["llc1MB", "llc2MB", "llc4MB"]);
+    for profile in spec::all_benchmarks() {
+        let row = LLC_SWEEP
+            .iter()
+            .map(|&mb| {
+                let base = results.report(&profile.name, &llc_cfg(UpdateScheme::SecureWb, mb), s);
+                results
+                    .report(&profile.name, &llc_cfg(UpdateScheme::Coalescing, mb), s)
+                    .normalized_to(base)
+            })
+            .collect();
+        table.push(&profile.name, row);
+    }
+    let mut out = table.render();
+    out.push('\n');
+    let _ = writeln!(out, "paper reference: 22.8% (1MB) -> 20.2% (4MB) overhead");
+    out
+}
+
+// --------------------------------------------------------- sgx_compare
+
+fn sgx_requests(s: RunSettings) -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for profile in spec::all_benchmarks() {
+        for scheme in [
+            UpdateScheme::SecureWb,
+            UpdateScheme::Sp,
+            UpdateScheme::SpCounterTree,
+        ] {
+            reqs.push(req(&profile.name, cfg(scheme), s));
+        }
+    }
+    reqs
+}
+
+fn sgx_render(results: &ResultSet, s: RunSettings) -> String {
+    let mut table = SeriesTable::new("bench", &["sp(BMT)", "sp_ctree", "ratio"]);
+    for profile in spec::all_benchmarks() {
+        let base = results.report(&profile.name, &cfg(UpdateScheme::SecureWb), s);
+        let bmt = results
+            .report(&profile.name, &cfg(UpdateScheme::Sp), s)
+            .normalized_to(base);
+        let ctree = results
+            .report(&profile.name, &cfg(UpdateScheme::SpCounterTree), s)
+            .normalized_to(base);
+        table.push(&profile.name, vec![bmt, ctree, ctree / bmt]);
+    }
+    let mut out = table.render();
+    out.push('\n');
+    let g = SystemConfig::default().bmt;
+    let _ = writeln!(
+        out,
+        "analytic write amplification at this geometry: {:.0}x NVM persists per store",
+        sgx::sgx_write_amplification(g)
+    );
+    let _ = writeln!(
+        out,
+        "paper §V-D: 'we focus only on BMT due to the extra cost incurred by the counter tree'"
+    );
+    out
+}
+
+// -------------------------------------------------------------- summary
+
+fn summary_requests(s: RunSettings) -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for profile in spec::all_benchmarks() {
+        reqs.push(req(&profile.name, cfg(UpdateScheme::SecureWb), s));
+        for scheme in UpdateScheme::persisting() {
+            reqs.push(req(&profile.name, cfg(scheme), s));
+        }
+    }
+    reqs
+}
+
+fn summary_render(results: &ResultSet, s: RunSettings) -> String {
+    let mut out = String::new();
+    let profiles = spec::all_benchmarks();
+    let reports_for = |scheme: UpdateScheme| -> Vec<&RunReport> {
+        profiles
+            .iter()
+            .map(|p| results.report(&p.name, &cfg(scheme), s))
+            .collect()
+    };
+    let base = reports_for(UpdateScheme::SecureWb);
+    let mut gmeans = Vec::new();
+    for scheme in UpdateScheme::persisting() {
+        let runs = reports_for(scheme);
+        let values: Vec<f64> = runs
+            .iter()
+            .zip(&base)
+            .map(|(r, b)| r.normalized_to(b))
+            .collect();
+        let g = geometric_mean(&values).expect("positive normalized times");
+        gmeans.push((scheme, g, runs));
+    }
+
+    let _ = writeln!(out, "normalized execution time (gmean over benchmarks):");
+    let paper = [
+        ("unordered", "n/a (incorrect under crash)"),
+        ("sp", "~8.2x (720% overhead)"),
+        ("pipeline", "~3.1x (210% overhead)"),
+        ("o3", "1.207x (20.7% overhead)"),
+        ("coalescing", "1.202x (20.2% overhead)"),
+    ];
+    for ((scheme, g, _), (_, p)) in gmeans.iter().zip(paper) {
+        let _ = writeln!(out, "  {:<11} {:>6.2}x   paper: {}", scheme.name(), g, p);
+    }
+    out.push('\n');
+
+    let sp = gmeans.iter().find(|(s, ..)| *s == UpdateScheme::Sp).unwrap();
+    let pipe = gmeans
+        .iter()
+        .find(|(s, ..)| *s == UpdateScheme::Pipeline)
+        .unwrap();
+    let o3 = gmeans.iter().find(|(s, ..)| *s == UpdateScheme::O3).unwrap();
+    let co = gmeans
+        .iter()
+        .find(|(s, ..)| *s == UpdateScheme::Coalescing)
+        .unwrap();
+
+    let _ = writeln!(
+        out,
+        "pipelining speedup over sequential sp: {:.2}x (paper: 3.4x)",
+        sp.1 / pipe.1
+    );
+    let _ = writeln!(
+        out,
+        "o3+coalescing speedup over sequential sp: {:.2}x (paper: 5.99x)",
+        sp.1 / co.1
+    );
+    let _ = writeln!(
+        out,
+        "best-to-worst overhead ratio: {:.1}x (paper: 36x)",
+        (sp.1 - 1.0) / (co.1 - 1.0).max(1e-9)
+    );
+    out.push('\n');
+
+    let o3_updates: u64 = o3.2.iter().map(|r| r.engine.node_updates).sum();
+    let co_updates: u64 = co.2.iter().map(|r| r.engine.node_updates).sum();
+    let _ = writeln!(
+        out,
+        "coalescing BMT node-update reduction vs o3: {:.1}% (paper: 26.1%)",
+        (1.0 - co_updates as f64 / o3_updates as f64) * 100.0
+    );
+    out.push('\n');
+
+    let g = SystemConfig::default().bmt;
+    let _ = writeln!(
+        out,
+        "SGX counter-tree persist amplification at the default geometry: {:.0}x\n\
+         ({} NVM persists per store vs 1 for a BMT; paper §V-D)",
+        sgx::sgx_write_amplification(g),
+        sgx::sgx_persist_cost(g).nvm_persists
+    );
+    out
+}
+
+// ------------------------------------------------------------- ablation
+
+const ABLATION_BENCH: &str = "gcc";
+const ABLATION_ETTS: [usize; 4] = [1, 2, 4, 8];
+const ABLATION_LEVELS: [u32; 5] = [7, 8, 9, 10, 11];
+
+fn ett_cfg(ett: usize) -> SystemConfig {
+    let mut c = cfg(UpdateScheme::Coalescing);
+    c.ett_entries = ett;
+    c
+}
+
+fn height_cfg(scheme: UpdateScheme, levels: u32) -> SystemConfig {
+    let mut c = cfg(scheme);
+    c.bmt = plp_bmt::BmtGeometry::new(8, levels);
+    c
+}
+
+fn mac_cfg(mac: u64) -> SystemConfig {
+    let mut c = cfg(UpdateScheme::Sp);
+    c.mac_latency = Cycle::new(mac);
+    c
+}
+
+fn ablation_requests(s: RunSettings) -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for scheme in UpdateScheme::all() {
+        reqs.push(req(ABLATION_BENCH, cfg(scheme), s));
+    }
+    for ett in ABLATION_ETTS {
+        reqs.push(req(ABLATION_BENCH, ett_cfg(ett), s));
+    }
+    for levels in ABLATION_LEVELS {
+        reqs.push(req(ABLATION_BENCH, height_cfg(UpdateScheme::Sp, levels), s));
+        reqs.push(req(
+            ABLATION_BENCH,
+            height_cfg(UpdateScheme::Pipeline, levels),
+            s,
+        ));
+    }
+    for mac in FIG9_MACS {
+        reqs.push(req(ABLATION_BENCH, mac_cfg(mac), s));
+    }
+    reqs
+}
+
+fn ablation_render(results: &ResultSet, s: RunSettings) -> String {
+    let mut out = String::new();
+    let base = results.report(ABLATION_BENCH, &cfg(UpdateScheme::SecureWb), s);
+    let norm = |config: &SystemConfig| -> (f64, &RunReport) {
+        let r = results.report(ABLATION_BENCH, config, s);
+        (r.normalized_to(base), r)
+    };
+
+    let (sp, _) = norm(&cfg(UpdateScheme::Sp));
+    let (un, _) = norm(&cfg(UpdateScheme::Unordered));
+    let _ = writeln!(out, "D1 root-ordering enforcement (sp vs unordered):");
+    let _ = writeln!(
+        out,
+        "   sp {sp:.2}x vs unordered {un:.2}x -> correctness costs {:.2}x",
+        sp / un
+    );
+    out.push('\n');
+
+    let (pipe, _) = norm(&cfg(UpdateScheme::Pipeline));
+    let (o3, o3r) = norm(&cfg(UpdateScheme::O3));
+    let _ = writeln!(out, "D2 in-order pipeline vs OOO epochs:");
+    let _ = writeln!(
+        out,
+        "   pipeline {pipe:.2}x vs o3 {o3:.2}x -> relaxing intra-epoch order buys {:.2}x",
+        pipe / o3
+    );
+    out.push('\n');
+
+    let (co, cor) = norm(&cfg(UpdateScheme::Coalescing));
+    let _ = writeln!(out, "D3 LCA coalescing on top of o3:");
+    let _ = writeln!(
+        out,
+        "   runtime {co:.2}x (o3 {o3:.2}x); node updates {} -> {} (-{:.1}%)",
+        o3r.engine.node_updates,
+        cor.engine.node_updates,
+        cor.node_update_reduction_vs(o3r) * 100.0
+    );
+    out.push('\n');
+
+    let _ = writeln!(out, "D4 ETT entries (concurrent epochs), coalescing scheme:");
+    for ett in ABLATION_ETTS {
+        let (n, _) = norm(&ett_cfg(ett));
+        let _ = writeln!(out, "   ett={ett}: {n:.3}x");
+    }
+    out.push('\n');
+
+    let _ = writeln!(out, "D5 BMT height (memory size), sp vs pipeline:");
+    for levels in ABLATION_LEVELS {
+        let (sp_n, _) = norm(&height_cfg(UpdateScheme::Sp, levels));
+        let (pipe_n, _) = norm(&height_cfg(UpdateScheme::Pipeline, levels));
+        let _ = writeln!(
+            out,
+            "   {levels} levels: sp {sp_n:5.2}x   pipeline {pipe_n:5.2}x   (ratio {:.2})",
+            sp_n / pipe_n
+        );
+    }
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "paper §IV-A2: 'with larger memories, the degree of PLP increases and\n\
+         pipelined BMT updates becomes even more effective versus non-pipelined'"
+    );
+
+    out.push('\n');
+    let _ = writeln!(out, "MAC-latency scaling, sp scheme:");
+    for mac in FIG9_MACS {
+        let (n, _) = norm(&mac_cfg(mac));
+        let _ = writeln!(out, "   mac={mac:>2}: {n:.2}x");
+    }
+    out
+}
+
+// ------------------------------------------------------- table1/table2
+
+fn crash_requests(_s: RunSettings) -> Vec<RunRequest> {
+    // Crash analysis needs per-persist records, which are never cached
+    // or shared through the matrix; these specs run their own
+    // record-enabled simulation at render time.
+    Vec::new()
+}
+
+fn table1_render(_results: &ResultSet, settings: RunSettings) -> String {
+    let mut out = String::new();
+    let mut cfg = SystemConfig::for_scheme(UpdateScheme::Sp);
+    cfg.record_persists = true;
+    let profile = spec::benchmark("milc").expect("known benchmark");
+    let trace = TraceGenerator::new(profile.clone(), settings.seed).generate(settings.instructions);
+    let (report, _, _) = run_with_crash(&cfg, profile.base_ipc, &trace, None);
+    // The victim must be the *last* persist to its address, or a later
+    // persist re-supplies the lost component.
+    let victim = report.records.len() - 1;
+    let checker = RecoveryChecker::new(cfg.bmt, cfg.key);
+    // A finite crash point after everything drained: the lost
+    // component (stamped `Cycle::MAX`) is the only thing missing.
+    let crash_at = report.total_cycles + Cycle::new(1_000_000);
+
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>6} {:>6}   paper outcome",
+        "lost", "BMT", "MAC", "P"
+    );
+    let expected_text = [
+        (TupleComponent::Root, "BMT failure"),
+        (TupleComponent::Mac, "MAC failure"),
+        (
+            TupleComponent::Counter,
+            "wrong plaintext, BMT & MAC failure",
+        ),
+        (TupleComponent::Ciphertext, "wrong plaintext, MAC failure"),
+    ];
+    for (component, paper) in expected_text {
+        let faulty = with_component_lost(&report.records, victim, component);
+        let image = PersistImage::at_time(&faulty, crash_at, cfg.bmt, cfg.key);
+        let expected = ObserverExpectation::at_time(&report.records, crash_at);
+        let rec = checker.check(&image, &expected);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>6} {:>6}   {}",
+            format!("{component:?}"),
+            if rec.bmt_failure { "FAIL" } else { "ok" },
+            if rec.mac_failures.is_empty() { "ok" } else { "FAIL" },
+            if rec.plaintext_failures.is_empty() {
+                "ok"
+            } else {
+                "WRONG"
+            },
+            paper
+        );
+    }
+    out.push('\n');
+    let _ = writeln!(out, "(control: nothing lost)");
+    let image = PersistImage::at_time(&report.records, crash_at, cfg.bmt, cfg.key);
+    let expected = ObserverExpectation::at_time(&report.records, crash_at);
+    let rec = checker.check(&image, &expected);
+    let _ = writeln!(out, "all components persisted -> {rec}");
+    out
+}
+
+fn table2_render(_results: &ResultSet, settings: RunSettings) -> String {
+    let mut out = String::new();
+    let mut cfg = SystemConfig::for_scheme(UpdateScheme::Sp);
+    cfg.record_persists = true;
+    let profile = spec::benchmark("milc").expect("known benchmark");
+    let trace = TraceGenerator::new(profile.clone(), settings.seed).generate(settings.instructions);
+    let (report, _, _) = run_with_crash(&cfg, profile.base_ipc, &trace, None);
+    let checker = RecoveryChecker::new(cfg.bmt, cfg.key);
+
+    // Pick two mid-run persists to *different* pages so the component
+    // swap is meaningful, and crash between their completions.
+    let first = (report.records.len() / 2..report.records.len() - 1)
+        .find(|&i| report.records[i].addr.page() != report.records[i + 1].addr.page())
+        .expect("adjacent different-page persists");
+    let second = first + 1;
+    let t1 = report.records[first].completed_at();
+    let t2 = report.records[second].completed_at();
+    let crash_at = Cycle::new((t1.get() + t2.get()) / 2);
+
+    let _ = writeln!(
+        out,
+        "α1 = {} ({}), α2 = {} ({}), crash between their persists",
+        report.records[first].id,
+        report.records[first].addr,
+        report.records[second].id,
+        report.records[second].addr
+    );
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>6} {:>6}   paper outcome",
+        "violated", "BMT", "MAC", "P"
+    );
+    let rows = [
+        (TupleComponent::Counter, "plaintext P1 not recoverable"),
+        (TupleComponent::Mac, "MAC failure"),
+        (TupleComponent::Root, "BMT failure for C1"),
+    ];
+    for (component, paper) in rows {
+        let faulty = with_component_reordered(&report.records, first, second, component);
+        let image = PersistImage::at_time(&faulty, crash_at, cfg.bmt, cfg.key);
+        let expected = ObserverExpectation::at_time(&report.records, crash_at);
+        let rec = checker.check(&image, &expected);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>6} {:>6}   {}",
+            format!("{component:?}"),
+            if rec.bmt_failure { "FAIL" } else { "ok" },
+            if rec.mac_failures.is_empty() { "ok" } else { "FAIL" },
+            if rec.plaintext_failures.is_empty() {
+                "ok"
+            } else {
+                "WRONG"
+            },
+            paper
+        );
+    }
+    out
+}
+
+// ------------------------------------------------------------- registry
+
+static ALL_SPECS: [ExperimentSpec; 14] = [
+    ExperimentSpec {
+        id: "fig8",
+        title: "Fig. 8",
+        what: "SP-scheme execution time normalized to secure_WB",
+        adjust: identity,
+        requests: fig8_requests,
+        render: fig8_render,
+    },
+    ExperimentSpec {
+        id: "fig9",
+        title: "Fig. 9",
+        what: "sp vs MAC latency and ideal metadata caches",
+        adjust: identity,
+        requests: fig9_requests,
+        render: fig9_render,
+    },
+    ExperimentSpec {
+        id: "fig10",
+        title: "Fig. 10",
+        what: "EP-scheme execution time normalized to secure_WB",
+        adjust: identity,
+        requests: fig10_requests,
+        render: fig10_render,
+    },
+    ExperimentSpec {
+        id: "fig11",
+        title: "Fig. 11",
+        what: "PPKI vs epoch size (coalescing scheme)",
+        adjust: identity,
+        requests: fig11_requests,
+        render: fig11_render,
+    },
+    ExperimentSpec {
+        id: "fig12",
+        title: "Fig. 12",
+        what: "coalescing execution time vs epoch size, normalized to secure_WB",
+        adjust: identity,
+        requests: fig12_requests,
+        render: fig12_render,
+    },
+    ExperimentSpec {
+        id: "table1",
+        title: "Table I",
+        what: "recovery failures due to persist failure",
+        adjust: clamp_for_records,
+        requests: crash_requests,
+        render: table1_render,
+    },
+    ExperimentSpec {
+        id: "table2",
+        title: "Table II",
+        what: "recovery failures due to ordering violations",
+        adjust: clamp_for_records,
+        requests: crash_requests,
+        render: table2_render,
+    },
+    ExperimentSpec {
+        id: "table5",
+        title: "Table V",
+        what: "persists per kilo-instruction (PPKI)",
+        adjust: identity,
+        requests: table5_requests,
+        render: table5_render,
+    },
+    ExperimentSpec {
+        id: "wpq_sweep",
+        title: "WPQ sweep",
+        what: "coalescing vs WPQ entries",
+        adjust: identity,
+        requests: wpq_requests,
+        render: wpq_render,
+    },
+    ExperimentSpec {
+        id: "mdc_sweep",
+        title: "MDC sweep",
+        what: "coalescing vs metadata-cache capacity",
+        adjust: identity,
+        requests: mdc_requests,
+        render: mdc_render,
+    },
+    ExperimentSpec {
+        id: "llc_sweep",
+        title: "LLC sweep",
+        what: "coalescing vs LLC capacity",
+        adjust: identity,
+        requests: llc_requests,
+        render: llc_render,
+    },
+    ExperimentSpec {
+        id: "sgx_compare",
+        title: "SGX ablation",
+        what: "sp over a BMT vs sp over an SGX-style counter tree",
+        adjust: identity,
+        requests: sgx_requests,
+        render: sgx_render,
+    },
+    ExperimentSpec {
+        id: "summary",
+        title: "Summary",
+        what: "headline results across all 15 benchmarks",
+        adjust: identity,
+        requests: summary_requests,
+        render: summary_render,
+    },
+    ExperimentSpec {
+        id: "ablation",
+        title: "Ablations",
+        what: "design-choice isolation on gcc",
+        adjust: identity,
+        requests: ablation_requests,
+        render: ablation_render,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_findable() {
+        let mut ids: Vec<&str> = all_specs().iter().map(|s| s.id).collect();
+        assert_eq!(ids.len(), 14);
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 14, "duplicate spec ids");
+        assert!(find("fig8").is_some());
+        assert!(find("nonesuch").is_none());
+    }
+
+    #[test]
+    fn requests_are_declared_for_every_matrix_spec() {
+        let s = RunSettings {
+            instructions: 1_000,
+            seed: 1,
+        };
+        for spec in all_specs() {
+            let reqs = spec.runs_needed(s);
+            // The crash tables run record-enabled simulations at
+            // render time; every other artefact declares its matrix.
+            if spec.id == "table1" || spec.id == "table2" {
+                assert!(reqs.is_empty());
+            } else {
+                assert!(!reqs.is_empty(), "{} declares no runs", spec.id);
+                for r in &reqs {
+                    assert!(
+                        !r.config.record_persists,
+                        "{}: matrix runs must be record-free",
+                        spec.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_tables_clamp_instruction_count() {
+        let big = RunSettings {
+            instructions: 400_000,
+            seed: 7,
+        };
+        assert_eq!(find("table1").unwrap().settings(big).instructions, 20_000);
+        assert_eq!(find("table2").unwrap().settings(big).instructions, 20_000);
+        assert_eq!(find("fig8").unwrap().settings(big).instructions, 400_000);
+    }
+}

@@ -41,26 +41,70 @@ pub enum UpdateScheme {
 
 impl UpdateScheme {
     /// All schemes, in the paper's Table IV order.
-    pub const ALL: [UpdateScheme; 6] = [
-        UpdateScheme::SecureWb,
-        UpdateScheme::Unordered,
-        UpdateScheme::Sp,
-        UpdateScheme::Pipeline,
-        UpdateScheme::O3,
-        UpdateScheme::Coalescing,
-    ];
+    pub fn all() -> [UpdateScheme; 6] {
+        [
+            UpdateScheme::SecureWb,
+            UpdateScheme::Unordered,
+            UpdateScheme::Sp,
+            UpdateScheme::Pipeline,
+            UpdateScheme::O3,
+            UpdateScheme::Coalescing,
+        ]
+    }
 
     /// Table IV's schemes plus this repo's §V-D counter-tree
     /// extension.
-    pub const ALL_EXTENDED: [UpdateScheme; 7] = [
-        UpdateScheme::SecureWb,
-        UpdateScheme::Unordered,
-        UpdateScheme::Sp,
-        UpdateScheme::Pipeline,
-        UpdateScheme::O3,
-        UpdateScheme::Coalescing,
-        UpdateScheme::SpCounterTree,
-    ];
+    pub fn all_extended() -> [UpdateScheme; 7] {
+        [
+            UpdateScheme::SecureWb,
+            UpdateScheme::Unordered,
+            UpdateScheme::Sp,
+            UpdateScheme::Pipeline,
+            UpdateScheme::O3,
+            UpdateScheme::Coalescing,
+            UpdateScheme::SpCounterTree,
+        ]
+    }
+
+    /// The strict-persistency comparison schemes (Fig. 8): every
+    /// write-through per-store scheme over the BMT, the unordered
+    /// strawman included.
+    pub fn strict() -> [UpdateScheme; 3] {
+        [
+            UpdateScheme::Unordered,
+            UpdateScheme::Sp,
+            UpdateScheme::Pipeline,
+        ]
+    }
+
+    /// The epoch-persistency schemes (Fig. 10).
+    pub fn epoch() -> [UpdateScheme; 2] {
+        [UpdateScheme::O3, UpdateScheme::Coalescing]
+    }
+
+    /// Every persisting scheme the evaluation measures against the
+    /// `secure_WB` baseline: [`UpdateScheme::strict`] then
+    /// [`UpdateScheme::epoch`], in Table IV order.
+    pub fn persisting() -> [UpdateScheme; 5] {
+        [
+            UpdateScheme::Unordered,
+            UpdateScheme::Sp,
+            UpdateScheme::Pipeline,
+            UpdateScheme::O3,
+            UpdateScheme::Coalescing,
+        ]
+    }
+
+    /// The crash-recovery-correct persisting schemes — the ones that
+    /// enforce Invariant 2 and must pass the fault sweeps.
+    pub fn correct() -> [UpdateScheme; 4] {
+        [
+            UpdateScheme::Sp,
+            UpdateScheme::Pipeline,
+            UpdateScheme::O3,
+            UpdateScheme::Coalescing,
+        ]
+    }
 
     /// The paper's name for the scheme.
     pub fn name(self) -> &'static str {
@@ -231,7 +275,7 @@ mod tests {
 
     #[test]
     fn scheme_names_match_table4() {
-        let names: Vec<_> = UpdateScheme::ALL.iter().map(|s| s.name()).collect();
+        let names: Vec<_> = UpdateScheme::all().iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
             vec!["secure_WB", "unordered", "sp", "pipeline", "o3", "coalescing"]
@@ -247,6 +291,31 @@ mod tests {
         assert!(Unordered.is_store_persisting());
         assert!(!SecureWb.is_store_persisting());
         assert_eq!(Coalescing.to_string(), "coalescing");
+    }
+
+    #[test]
+    fn scheme_families_partition_consistently() {
+        // persisting = strict ++ epoch, in Table IV order; all = the
+        // baseline plus persisting; correct = persisting minus the
+        // unordered strawman.
+        let persisting: Vec<_> = UpdateScheme::strict()
+            .into_iter()
+            .chain(UpdateScheme::epoch())
+            .collect();
+        assert_eq!(persisting, UpdateScheme::persisting().to_vec());
+        let all: Vec<_> = std::iter::once(UpdateScheme::SecureWb)
+            .chain(UpdateScheme::persisting())
+            .collect();
+        assert_eq!(all, UpdateScheme::all().to_vec());
+        let correct: Vec<_> = UpdateScheme::persisting()
+            .into_iter()
+            .filter(|s| *s != UpdateScheme::Unordered)
+            .collect();
+        assert_eq!(correct, UpdateScheme::correct().to_vec());
+        assert_eq!(
+            UpdateScheme::all_extended().last(),
+            Some(&UpdateScheme::SpCounterTree)
+        );
     }
 
     #[test]

@@ -94,89 +94,129 @@ pub struct UpdateRequest {
     pub now: Cycle,
 }
 
-/// The engine selected by a [`SystemConfig`], as one dispatchable type.
-#[derive(Debug, Clone)]
-pub enum Engine {
-    /// Fully sequential updates.
-    Sequential(SequentialEngine),
-    /// PTT-scheduled in-order pipeline.
-    Pipelined(PipelinedEngine),
-    /// No ordering (invariant-violating strawman).
-    Unordered(UnorderedEngine),
-    /// ETT/PTT out-of-order within epochs.
-    Ooo(OooEngine),
-    /// Out-of-order plus LCA coalescing.
-    Coalescing(CoalescingEngine),
-    /// Strict persistency over an SGX-style counter tree (§V-D
-    /// extension).
-    CounterTree(CounterTreeEngine),
-}
-
-impl Engine {
-    /// Builds the engine for `config`'s scheme. The `secure_WB`
-    /// baseline routes its eviction write-backs through a sequential
-    /// engine (§VII: evicted dirty blocks update the BMT sequentially).
-    pub fn for_config(config: &SystemConfig) -> Engine {
-        let mac = if config.ideal_metadata {
-            Cycle::ZERO
-        } else {
-            config.mac_latency
-        };
-        let levels = config.bmt.levels();
-        match config.scheme {
-            UpdateScheme::SecureWb | UpdateScheme::Sp => {
-                Engine::Sequential(SequentialEngine::new(mac))
-            }
-            UpdateScheme::Pipeline => {
-                Engine::Pipelined(PipelinedEngine::new(mac, levels, config.ptt_entries))
-            }
-            UpdateScheme::Unordered => Engine::Unordered(UnorderedEngine::new(mac)),
-            UpdateScheme::O3 => Engine::Ooo(OooEngine::new(mac, levels, config.ett_entries)),
-            UpdateScheme::Coalescing => {
-                Engine::Coalescing(CoalescingEngine::new(mac, levels, config.ett_entries))
-            }
-            UpdateScheme::SpCounterTree => Engine::CounterTree(CounterTreeEngine::new(mac)),
-        }
-    }
-
+/// The scheme-specific half of the persist path: the system model owns
+/// tuple gathering, crypto and WPQ slotting, and every engine plugs
+/// into it through this interface. Engines are `Send` so a
+/// [`crate::Simulation`] can run on a worker thread.
+pub trait UpdateEngine: std::fmt::Debug + Send {
     /// Schedules a persist's BMT update path; returns the cycle this
     /// persist's scheduled work completes (for 2SP engines, the root
     /// update; for coalescing, the persist's own committed nodes — the
-    /// delegated suffix completes at [`Engine::seal_epoch`]).
-    pub fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
-        ctx.stats.persists += 1;
-        match self {
-            Engine::Sequential(e) => e.persist(req, ctx),
-            Engine::Pipelined(e) => e.persist(req, ctx),
-            Engine::Unordered(e) => e.persist(req, ctx),
-            Engine::Ooo(e) => e.persist(req, ctx),
-            Engine::Coalescing(e) => e.persist(req, ctx),
-            Engine::CounterTree(e) => e.persist(req, ctx),
-        }
-    }
+    /// delegated suffix completes at [`UpdateEngine::seal_epoch`]).
+    fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle;
 
     /// Seals the current epoch at an `sfence`: finalizes any pending
     /// coalescing chain, records per-level completion constraints for
     /// the next epoch and returns the sealed epoch's completion time.
     /// Non-epoch engines return `None`.
-    pub fn seal_epoch(&mut self, ctx: &mut EngineCtx<'_>) -> Option<Cycle> {
-        match self {
-            Engine::Ooo(e) => Some(e.seal_epoch()),
-            Engine::Coalescing(e) => Some(e.seal_epoch(ctx)),
-            _ => None,
-        }
+    fn seal_epoch(&mut self, ctx: &mut EngineCtx<'_>) -> Option<Cycle> {
+        let _ = ctx;
+        None
     }
 
     /// The time the engine's last scheduled work completes.
-    pub fn drained_at(&self) -> Cycle {
-        match self {
-            Engine::Sequential(e) => e.drained_at(),
-            Engine::Pipelined(e) => e.drained_at(),
-            Engine::Unordered(e) => e.drained_at(),
-            Engine::Ooo(e) => e.drained_at(),
-            Engine::Coalescing(e) => e.drained_at(),
-            Engine::CounterTree(e) => e.drained_at(),
+    fn drained_at(&self) -> Cycle;
+
+    /// Node updates eliminated by coalescing (zero for every
+    /// non-coalescing engine).
+    fn saved_updates(&self) -> u64 {
+        0
+    }
+}
+
+impl UpdateEngine for SequentialEngine {
+    fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
+        SequentialEngine::persist(self, req, ctx)
+    }
+
+    fn drained_at(&self) -> Cycle {
+        SequentialEngine::drained_at(self)
+    }
+}
+
+impl UpdateEngine for PipelinedEngine {
+    fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
+        PipelinedEngine::persist(self, req, ctx)
+    }
+
+    fn drained_at(&self) -> Cycle {
+        PipelinedEngine::drained_at(self)
+    }
+}
+
+impl UpdateEngine for UnorderedEngine {
+    fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
+        UnorderedEngine::persist(self, req, ctx)
+    }
+
+    fn drained_at(&self) -> Cycle {
+        UnorderedEngine::drained_at(self)
+    }
+}
+
+impl UpdateEngine for OooEngine {
+    fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
+        OooEngine::persist(self, req, ctx)
+    }
+
+    fn seal_epoch(&mut self, _ctx: &mut EngineCtx<'_>) -> Option<Cycle> {
+        Some(OooEngine::seal_epoch(self))
+    }
+
+    fn drained_at(&self) -> Cycle {
+        OooEngine::drained_at(self)
+    }
+}
+
+impl UpdateEngine for CoalescingEngine {
+    fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
+        CoalescingEngine::persist(self, req, ctx)
+    }
+
+    fn seal_epoch(&mut self, ctx: &mut EngineCtx<'_>) -> Option<Cycle> {
+        Some(CoalescingEngine::seal_epoch(self, ctx))
+    }
+
+    fn drained_at(&self) -> Cycle {
+        CoalescingEngine::drained_at(self)
+    }
+
+    fn saved_updates(&self) -> u64 {
+        CoalescingEngine::saved_updates(self)
+    }
+}
+
+impl UpdateEngine for CounterTreeEngine {
+    fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
+        CounterTreeEngine::persist(self, req, ctx)
+    }
+
+    fn drained_at(&self) -> Cycle {
+        CounterTreeEngine::drained_at(self)
+    }
+}
+
+/// Builds the engine for `config`'s scheme. The `secure_WB` baseline
+/// routes its eviction write-backs through a sequential engine (§VII:
+/// evicted dirty blocks update the BMT sequentially).
+pub fn for_config(config: &SystemConfig) -> Box<dyn UpdateEngine> {
+    let mac = if config.ideal_metadata {
+        Cycle::ZERO
+    } else {
+        config.mac_latency
+    };
+    let levels = config.bmt.levels();
+    match config.scheme {
+        UpdateScheme::SecureWb | UpdateScheme::Sp => Box::new(SequentialEngine::new(mac)),
+        UpdateScheme::Pipeline => {
+            Box::new(PipelinedEngine::new(mac, levels, config.ptt_entries))
         }
+        UpdateScheme::Unordered => Box::new(UnorderedEngine::new(mac)),
+        UpdateScheme::O3 => Box::new(OooEngine::new(mac, levels, config.ett_entries)),
+        UpdateScheme::Coalescing => {
+            Box::new(CoalescingEngine::new(mac, levels, config.ett_entries))
+        }
+        UpdateScheme::SpCounterTree => Box::new(CounterTreeEngine::new(mac)),
     }
 }
 

@@ -1,8 +1,8 @@
 //! The shared error type for fallible simulator construction.
 //!
 //! [`SystemConfig::validate`](crate::SystemConfig::validate),
-//! [`SystemSim::try_new`](crate::SystemSim::try_new) and
-//! [`SystemSim::try_with_base_ipc`](crate::SystemSim::try_with_base_ipc)
+//! [`SimSetup::new`](crate::SimSetup::new) and
+//! [`SimSetup::with_base_ipc`](crate::SimSetup::with_base_ipc)
 //! all report through [`ConfigError`], which also wraps the NVM
 //! device's own [`NvmError`] so callers handle one type end to end.
 

@@ -12,8 +12,8 @@
 //!   ETT out-of-order (PLP 2) and LCA-coalescing (PLP 3);
 //! * **persistency models**: strict (per-store) and epoch (sfence
 //!   boundaries every [`SystemConfig::epoch_size`] stores);
-//! * the **full-system simulator** ([`SystemSim`]) driven by
-//!   `plp-trace` workloads;
+//! * the **full-system simulator** (an immutable [`SimSetup`] minting
+//!   single-use [`Simulation`]s) driven by `plp-trace` workloads;
 //! * **crash injection and recovery checking** ([`PersistImage`],
 //!   [`RecoveryChecker`]) implementing the Table I / Table II failure
 //!   taxonomy — Invariant 2 as an executable check;
@@ -61,6 +61,6 @@ pub use recovery::{
     RecoveryChecker, RecoveryCost, RecoveryReport, TupleComponent,
 };
 pub use report::RunReport;
-pub use system::{run_benchmark, run_with_crash, SystemSim};
+pub use system::{run_benchmark, run_trace, run_with_crash, FinishedSim, SimSetup, Simulation};
 pub use tuple::{EpochId, PersistId, PersistRecord, TupleTimes};
 pub use wpq::{Wpq, WpqEntry};

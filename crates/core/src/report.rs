@@ -10,7 +10,7 @@ use crate::meta::MetadataStats;
 use crate::PersistRecord;
 
 /// Everything a simulation run measured.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Total execution time in cycles (instruction stream retired and
     /// all persists drained).

@@ -1,6 +1,13 @@
 //! The full-system simulator: core model, cache hierarchy, security
 //! engine, WPQ, NVM and the functional security state, driven by a
 //! workload trace.
+//!
+//! The simulator is split into an immutable [`SimSetup`] (configuration
+//! plus optional workload binding) and a per-run [`Simulation`] whose
+//! [`Simulation::run`] consumes it. A setup can mint any number of
+//! independent simulations — each starts from pristine caches, tree and
+//! statistics, and is `Send`, so independent runs can execute on worker
+//! threads.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -12,7 +19,7 @@ use plp_events::Cycle;
 use plp_nvm::NvmDevice;
 use plp_trace::{Op, Trace, WorkloadProfile};
 
-use crate::engine::{Engine, EngineCtx, EngineStats, UpdateRequest};
+use crate::engine::{EngineCtx, EngineStats, UpdateEngine, UpdateRequest};
 use crate::meta::{counter_block_addr, mac_block_addr, MetadataCaches};
 use crate::recovery::{ObserverExpectation, PersistImage};
 use crate::wpq::Wpq;
@@ -21,31 +28,199 @@ use crate::{
     UpdateScheme,
 };
 
-/// The complete simulated system.
-///
-/// One `SystemSim` runs one trace: construct, [`SystemSim::run`], read
-/// the [`RunReport`]. The simulator is deterministic — identical
-/// configuration and trace produce identical reports.
+/// The immutable description of an experiment run: configuration, core
+/// IPC and (optionally) the workload profile and trace seed. Validated
+/// once at construction; every [`SimSetup::simulation`] call mints a
+/// fresh, independent [`Simulation`].
 ///
 /// # Example
 ///
 /// ```
-/// use plp_core::{SystemConfig, SystemSim, UpdateScheme};
+/// use plp_core::{SimSetup, SystemConfig, UpdateScheme};
+/// use plp_trace::spec;
+///
+/// let profile = spec::benchmark("milc").unwrap();
+/// let setup = SimSetup::for_profile(
+///     SystemConfig::for_scheme(UpdateScheme::Pipeline),
+///     &profile,
+///     7,
+/// )
+/// .unwrap();
+/// let report = setup.run_generated(50_000);
+/// assert!(report.persists > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimSetup {
+    config: SystemConfig,
+    base_ipc: f64,
+    profile: Option<WorkloadProfile>,
+    seed: u64,
+}
+
+impl SimSetup {
+    /// Builds a setup with a 1.0-IPC core.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint the configuration violates.
+    pub fn new(config: SystemConfig) -> Result<Self, crate::ConfigError> {
+        Self::with_base_ipc(config, 1.0)
+    }
+
+    /// Builds a setup whose core retires gap instructions at
+    /// `base_ipc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint the configuration violates, or
+    /// [`crate::ConfigError::NonPositiveBaseIpc`] for a degenerate core
+    /// model.
+    pub fn with_base_ipc(config: SystemConfig, base_ipc: f64) -> Result<Self, crate::ConfigError> {
+        config.validate()?;
+        if !base_ipc.is_finite() || base_ipc <= 0.0 {
+            return Err(crate::ConfigError::NonPositiveBaseIpc { base_ipc });
+        }
+        Ok(SimSetup {
+            config,
+            base_ipc,
+            profile: None,
+            seed: 0,
+        })
+    }
+
+    /// Binds the setup to a workload: the profile's calibrated baseline
+    /// IPC drives the core model and `seed` fixes trace generation, so
+    /// the setup alone determines a run via
+    /// [`SimSetup::run_generated`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint the configuration violates.
+    pub fn for_profile(
+        config: SystemConfig,
+        profile: &WorkloadProfile,
+        seed: u64,
+    ) -> Result<Self, crate::ConfigError> {
+        let mut setup = Self::with_base_ipc(config, profile.base_ipc)?;
+        setup.profile = Some(profile.clone());
+        setup.seed = seed;
+        Ok(setup)
+    }
+
+    /// The configuration every simulation of this setup uses.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The core model's baseline IPC.
+    pub fn base_ipc(&self) -> f64 {
+        self.base_ipc
+    }
+
+    /// The bound workload profile, if any.
+    pub fn profile(&self) -> Option<&WorkloadProfile> {
+        self.profile.as_ref()
+    }
+
+    /// The trace-generation seed ([`SimSetup::for_profile`] binds it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates the bound workload's trace for roughly `instructions`
+    /// instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the setup was not built with
+    /// [`SimSetup::for_profile`].
+    pub fn generate_trace(&self, instructions: u64) -> Trace {
+        let profile = self
+            .profile
+            .as_ref()
+            .expect("SimSetup::generate_trace needs a profile-bound setup");
+        plp_trace::TraceGenerator::new(profile.clone(), self.seed).generate(instructions)
+    }
+
+    /// Mints a fresh simulation: pristine caches, tree, WPQ and
+    /// statistics.
+    pub fn simulation(&self) -> Simulation {
+        let config = self.config.clone();
+        let engine = crate::engine::for_config(&config);
+        Simulation {
+            hierarchy: Hierarchy::paper_default(config.llc_bytes),
+            meta: MetadataCaches::new(config.metadata_cache_bytes, config.ideal_metadata),
+            engine,
+            engine_stats: EngineStats::default(),
+            nvm: NvmDevice::new(config.nvm),
+            wpq: Wpq::new(config.wpq_entries),
+            ctr: CtrEngine::new(config.key),
+            mac: MacEngine::new(config.key),
+            tree: BonsaiTree::new(config.bmt, config.key),
+            counters: HashMap::new(),
+            epoch: EpochId(0),
+            epoch_stores: 0,
+            epoch_set: BTreeSet::new(),
+            epoch_record_start: 0,
+            persists: 0,
+            writebacks: 0,
+            epochs: 0,
+            page_overflows: 0,
+            overflow_blocks: 0,
+            plaintexts: HashMap::new(),
+            store_seq: 0,
+            last_completion: Cycle::ZERO,
+            last_ordered_release: Cycle::ZERO,
+            records: Vec::new(),
+            base_ipc: self.base_ipc,
+            config,
+        }
+    }
+
+    /// Runs a fresh simulation over `trace`.
+    pub fn run(&self, trace: &Trace) -> RunReport {
+        self.simulation().run(trace)
+    }
+
+    /// Generates the bound workload's trace and runs it — the whole
+    /// experiment as a pure function of the setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the setup was not built with
+    /// [`SimSetup::for_profile`].
+    pub fn run_generated(&self, instructions: u64) -> RunReport {
+        self.run(&self.generate_trace(instructions))
+    }
+}
+
+/// One run's worth of simulated state.
+///
+/// Minted by [`SimSetup::simulation`] and *consumed* by
+/// [`Simulation::run`]: state can never leak between runs, and calling
+/// `run` twice on the same simulation is a compile error. The simulator
+/// is deterministic — identical configuration and trace produce
+/// identical reports.
+///
+/// # Example
+///
+/// ```
+/// use plp_core::{SimSetup, SystemConfig, UpdateScheme};
 /// use plp_trace::{spec, TraceGenerator};
 ///
 /// let profile = spec::benchmark("milc").unwrap();
-/// let trace = TraceGenerator::new(profile, 7).generate(50_000);
-/// let mut sim = SystemSim::new(SystemConfig::for_scheme(UpdateScheme::Pipeline));
-/// let report = sim.run(&trace);
+/// let trace = TraceGenerator::new(profile.clone(), 7).generate(50_000);
+/// let setup = SimSetup::new(SystemConfig::for_scheme(UpdateScheme::Pipeline)).unwrap();
+/// let report = setup.simulation().run(&trace);
 /// assert!(report.persists > 0);
 /// ```
 #[derive(Debug)]
-pub struct SystemSim {
+pub struct Simulation {
     config: SystemConfig,
     base_ipc: f64,
     hierarchy: Hierarchy,
     meta: MetadataCaches,
-    engine: Engine,
+    engine: Box<dyn UpdateEngine>,
     engine_stats: EngineStats,
     nvm: NvmDevice,
     wpq: Wpq,
@@ -78,93 +253,29 @@ pub struct SystemSim {
     records: Vec<PersistRecord>,
 }
 
-impl SystemSim {
-    /// Builds a system with a 1.0-IPC core. Use
-    /// [`SystemSim::with_base_ipc`] to model a specific benchmark's
-    /// baseline throughput.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid
-    /// (see [`SystemConfig::validate`]); use [`SystemSim::try_new`] to
-    /// handle the error instead.
-    pub fn new(config: SystemConfig) -> Self {
-        Self::with_base_ipc(config, 1.0)
+/// A consumed simulation, returned by [`Simulation::run_with_state`]:
+/// read-only access to the post-run architectural state, with no way
+/// to run it again.
+#[derive(Debug)]
+pub struct FinishedSim {
+    sim: Simulation,
+}
+
+impl FinishedSim {
+    /// The configuration the run used.
+    pub fn config(&self) -> &SystemConfig {
+        &self.sim.config
     }
 
-    /// Builds a system with a 1.0-IPC core, validating the
-    /// configuration.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first constraint the configuration violates.
-    pub fn try_new(config: SystemConfig) -> Result<Self, crate::ConfigError> {
-        Self::try_with_base_ipc(config, 1.0)
+    /// The architectural (pre-crash) BMT root — what the on-chip
+    /// register holds after all issued updates.
+    pub fn architectural_root(&self) -> plp_bmt::NodeValue {
+        self.sim.tree.root()
     }
+}
 
-    /// Builds a system whose core retires gap instructions at
-    /// `base_ipc`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid or `base_ipc` is not
-    /// positive; use [`SystemSim::try_with_base_ipc`] to handle the
-    /// error instead.
-    pub fn with_base_ipc(config: SystemConfig, base_ipc: f64) -> Self {
-        match Self::try_with_base_ipc(config, base_ipc) {
-            Ok(sim) => sim,
-            Err(e) => panic!("invalid system configuration: {e}"),
-        }
-    }
-
-    /// Builds a system whose core retires gap instructions at
-    /// `base_ipc`, validating both the configuration and the IPC.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first constraint the configuration violates, or
-    /// [`crate::ConfigError::NonPositiveBaseIpc`] for a degenerate
-    /// core model.
-    pub fn try_with_base_ipc(
-        config: SystemConfig,
-        base_ipc: f64,
-    ) -> Result<Self, crate::ConfigError> {
-        config.validate()?;
-        if !base_ipc.is_finite() || base_ipc <= 0.0 {
-            return Err(crate::ConfigError::NonPositiveBaseIpc { base_ipc });
-        }
-        let engine = Engine::for_config(&config);
-        Ok(SystemSim {
-            hierarchy: Hierarchy::paper_default(config.llc_bytes),
-            meta: MetadataCaches::new(config.metadata_cache_bytes, config.ideal_metadata),
-            engine,
-            engine_stats: EngineStats::default(),
-            nvm: NvmDevice::new(config.nvm),
-            wpq: Wpq::new(config.wpq_entries),
-            ctr: CtrEngine::new(config.key),
-            mac: MacEngine::new(config.key),
-            tree: BonsaiTree::new(config.bmt, config.key),
-            counters: HashMap::new(),
-            epoch: EpochId(0),
-            epoch_stores: 0,
-            epoch_set: BTreeSet::new(),
-            epoch_record_start: 0,
-            persists: 0,
-            writebacks: 0,
-            epochs: 0,
-            page_overflows: 0,
-            overflow_blocks: 0,
-            plaintexts: HashMap::new(),
-            store_seq: 0,
-            last_completion: Cycle::ZERO,
-            last_ordered_release: Cycle::ZERO,
-            records: Vec::new(),
-            base_ipc,
-            config,
-        })
-    }
-
-    /// The configuration this system was built with.
+impl Simulation {
+    /// The configuration this simulation was built with.
     pub fn config(&self) -> &SystemConfig {
         &self.config
     }
@@ -184,11 +295,32 @@ impl SystemSim {
         }
     }
 
-    /// The full security transformation + BMT update for one block,
-    /// returning `(admission_time, completion_time)`. `ordered` marks
-    /// persists the crash-recovery observer may rely on (vs background
-    /// eviction write-backs).
-    fn security_update(&mut self, addr: BlockAddr, now: Cycle, ordered: bool) -> (Cycle, Cycle) {
+    /// Split-borrows the engine away from the scheduling context it
+    /// needs — the single point where any engine plugs into the persist
+    /// path.
+    fn with_engine<R>(&mut self, f: impl FnOnce(&mut dyn UpdateEngine, &mut EngineCtx<'_>) -> R) -> R {
+        let mac_latency = if self.config.ideal_metadata {
+            Cycle::ZERO
+        } else {
+            self.config.mac_latency
+        };
+        let mut ctx = EngineCtx {
+            geometry: self.config.bmt,
+            mac_latency,
+            meta: &mut self.meta,
+            nvm: &mut self.nvm,
+            stats: &mut self.engine_stats,
+        };
+        f(self.engine.as_mut(), &mut ctx)
+    }
+
+    /// The persist path: the full security transformation + BMT update
+    /// for one block, returning `(admission_time, completion_time)`.
+    /// Every durable block — write-through stores, epoch flushes and
+    /// background evictions alike — goes through this one routine;
+    /// `ordered` marks persists the crash-recovery observer may rely on
+    /// (vs background eviction write-backs).
+    fn persist_block(&mut self, addr: BlockAddr, now: Cycle, ordered: bool) -> (Cycle, Cycle) {
         let eff_mac = self.effective_mac();
         let page = addr.page().index();
 
@@ -244,21 +376,19 @@ impl SystemSim {
             }
         }
 
-        // Schedule the BMT update path.
-        let mut ctx = EngineCtx {
-            geometry: self.config.bmt,
-            mac_latency: eff_mac,
-            meta: &mut self.meta,
-            nvm: &mut self.nvm,
-            stats: &mut self.engine_stats,
-        };
-        let root_done = self.engine.persist(
-            UpdateRequest {
-                leaf: self.config.bmt.leaf(page),
-                now: counter_ready,
-            },
-            &mut ctx,
-        );
+        // Schedule the BMT update path through whichever engine the
+        // scheme plugged in.
+        let leaf = self.config.bmt.leaf(page);
+        let root_done = self.with_engine(|engine, ctx| {
+            ctx.stats.persists += 1;
+            engine.persist(
+                UpdateRequest {
+                    leaf,
+                    now: counter_ready,
+                },
+                ctx,
+            )
+        });
 
         // Step 2 of 2SP: tuple complete; release to NVMM. Under strict
         // persistency the WPQ deallocates entries head-first, so a
@@ -366,18 +496,11 @@ impl SystemSim {
         let addrs: Vec<BlockAddr> = std::mem::take(&mut self.epoch_set).into_iter().collect();
         let mut stall = now;
         for addr in addrs {
-            let (admit, _) = self.security_update(addr, now, true);
+            let (admit, _) = self.persist_block(addr, now, true);
             stall = stall.max(admit);
             self.hierarchy.mark_clean(addr);
         }
-        let mut ctx = EngineCtx {
-            geometry: self.config.bmt,
-            mac_latency: self.effective_mac(),
-            meta: &mut self.meta,
-            nvm: &mut self.nvm,
-            stats: &mut self.engine_stats,
-        };
-        if let Some(completion) = self.engine.seal_epoch(&mut ctx) {
+        if let Some(completion) = self.with_engine(|engine, ctx| engine.seal_epoch(ctx)) {
             self.last_completion = self.last_completion.max(completion);
             if self.config.record_persists {
                 for r in &mut self.records[self.epoch_record_start..] {
@@ -392,7 +515,51 @@ impl SystemSim {
         stall
     }
 
-    /// Runs the trace to completion and reports.
+    /// An LLC dirty eviction: needs the full security transformation
+    /// but carries no crash-recovery ordering expectation.
+    fn eviction_writeback(&mut self, addr: BlockAddr, now: Cycle) {
+        let _ = self.persist_block(addr, now, false);
+    }
+
+    /// One store's worth of persist-path work; returns the updated
+    /// core clock (stores stall the core only on WPQ back-pressure and
+    /// epoch seals).
+    fn handle_store(&mut self, addr: BlockAddr, stack: bool, now: Cycle, clock: f64) -> f64 {
+        let mut clock = clock;
+        let persisting = self.is_persisting_store(stack);
+        if persisting && self.config.scheme.is_store_persisting() {
+            self.hierarchy.store(addr, WriteMode::WriteThrough);
+            let (admit, _) = self.persist_block(addr, now, true);
+            clock = clock.max(admit.get() as f64);
+        } else if persisting && self.config.scheme.is_epoch_based() {
+            let out = self.hierarchy.store(addr, WriteMode::WriteBack);
+            self.epoch_set.insert(addr);
+            for wb in out.memory_writebacks {
+                if self.epoch_set.remove(&wb) {
+                    // A block of the open epoch leaves the LLC early:
+                    // it persists now, within the epoch.
+                    let (admit, _) = self.persist_block(wb, now, true);
+                    clock = clock.max(admit.get() as f64);
+                } else {
+                    self.eviction_writeback(wb, now);
+                }
+            }
+            self.epoch_stores += 1;
+            if self.epoch_stores >= self.config.epoch_size {
+                let stall = self.seal_epoch(Cycle::new(clock as u64));
+                clock = clock.max(stall.get() as f64);
+            }
+        } else {
+            let out = self.hierarchy.store(addr, WriteMode::WriteBack);
+            for wb in out.memory_writebacks {
+                self.eviction_writeback(wb, now);
+            }
+        }
+        clock
+    }
+
+    /// Runs the trace to completion, consuming the simulation, and
+    /// reports.
     ///
     /// The core model retires every instruction — gaps and memory
     /// operations alike — at the calibrated baseline IPC, which (per
@@ -404,10 +571,18 @@ impl SystemSim {
     /// core-visible stalls are the persist-path ones the paper
     /// studies: WPQ back-pressure and epoch sealing.
     ///
-    /// Call once per `SystemSim`; state (caches, tree, statistics)
-    /// accumulates across calls, which is rarely what an experiment
-    /// wants.
-    pub fn run(&mut self, trace: &Trace) -> RunReport {
+    /// Consuming `self` makes run state single-use by construction:
+    /// re-running a consumed simulation is a compile error, so caches,
+    /// tree and statistics can never accumulate across runs. Mint a
+    /// fresh [`Simulation`] from the [`SimSetup`] for the next run.
+    pub fn run(self, trace: &Trace) -> RunReport {
+        self.run_with_state(trace).0
+    }
+
+    /// Like [`Simulation::run`], but also returns the consumed
+    /// simulation as a read-only [`FinishedSim`] for architectural
+    /// inspection.
+    pub fn run_with_state(mut self, trace: &Trace) -> (RunReport, FinishedSim) {
         let cpi = 1.0 / self.base_ipc;
         let mut clock: f64 = 0.0;
 
@@ -425,36 +600,7 @@ impl SystemSim {
                     }
                 }
                 Op::Store { addr, stack } => {
-                    let persisting = self.is_persisting_store(stack);
-                    if persisting && self.config.scheme.is_store_persisting() {
-                        self.hierarchy.store(addr, WriteMode::WriteThrough);
-                        let (admit, _) = self.security_update(addr, now, true);
-                        clock = clock.max(admit.get() as f64);
-                    } else if persisting && self.config.scheme.is_epoch_based() {
-                        let out = self.hierarchy.store(addr, WriteMode::WriteBack);
-                        self.epoch_set.insert(addr);
-                        for wb in out.memory_writebacks {
-                            if self.epoch_set.remove(&wb) {
-                                // A block of the open epoch leaves the
-                                // LLC early: it persists now, within
-                                // the epoch.
-                                let (admit, _) = self.security_update(wb, now, true);
-                                clock = clock.max(admit.get() as f64);
-                            } else {
-                                self.eviction_writeback(wb, now);
-                            }
-                        }
-                        self.epoch_stores += 1;
-                        if self.epoch_stores >= self.config.epoch_size {
-                            let stall = self.seal_epoch(Cycle::new(clock as u64));
-                            clock = clock.max(stall.get() as f64);
-                        }
-                    } else {
-                        let out = self.hierarchy.store(addr, WriteMode::WriteBack);
-                        for wb in out.memory_writebacks {
-                            self.eviction_writeback(wb, now);
-                        }
-                    }
+                    clock = self.handle_store(addr, stack, now, clock);
                 }
             }
         }
@@ -471,17 +617,14 @@ impl SystemSim {
             .max(self.engine.drained_at());
 
         let caches = self.hierarchy.levels();
-        RunReport {
+        let report = RunReport {
             total_cycles: total,
             instructions: trace.total_instructions(),
             persists: self.persists,
             writebacks: self.writebacks,
             epochs: self.epochs,
             engine: self.engine_stats,
-            coalesced_saved_updates: match &self.engine {
-                Engine::Coalescing(e) => e.saved_updates(),
-                _ => 0,
-            },
+            coalesced_saved_updates: self.engine.saved_updates(),
             page_overflows: self.page_overflows,
             overflow_blocks: self.overflow_blocks,
             wpq_stall_cycles: self.wpq.stall_cycles(),
@@ -490,17 +633,13 @@ impl SystemSim {
             data_caches: [caches[0].stats(), caches[1].stats(), caches[2].stats()],
             nvm: self.nvm.stats(),
             records: std::mem::take(&mut self.records),
-        }
-    }
-
-    /// An LLC dirty eviction: needs the full security transformation
-    /// but carries no crash-recovery ordering expectation.
-    fn eviction_writeback(&mut self, addr: BlockAddr, now: Cycle) {
-        let _ = self.security_update(addr, now, false);
+        };
+        (report, FinishedSim { sim: self })
     }
 
     /// The architectural (pre-crash) BMT root — what the on-chip
-    /// register holds after all issued updates.
+    /// register holds before the run starts (see
+    /// [`FinishedSim::architectural_root`] for the post-run value).
     pub fn architectural_root(&self) -> plp_bmt::NodeValue {
         self.tree.root()
     }
@@ -525,15 +664,27 @@ impl SystemSim {
 /// );
 /// assert!(report.epochs > 0);
 /// ```
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see
+/// [`SystemConfig::validate`]).
 pub fn run_benchmark(
     profile: &WorkloadProfile,
     config: &SystemConfig,
     instructions: u64,
     seed: u64,
 ) -> RunReport {
-    let trace = plp_trace::TraceGenerator::new(profile.clone(), seed).generate(instructions);
-    let mut sim = SystemSim::with_base_ipc(config.clone(), profile.base_ipc);
-    sim.run(&trace)
+    match SimSetup::for_profile(config.clone(), profile, seed) {
+        Ok(setup) => setup.run_generated(instructions),
+        Err(e) => panic!("invalid system configuration: {e}"),
+    }
+}
+
+/// Runs `trace` under a prebuilt setup — [`run_benchmark`] for callers
+/// that share one generated trace across many configurations.
+pub fn run_trace(setup: &SimSetup, trace: &Trace) -> RunReport {
+    setup.run(trace)
 }
 
 /// Runs a trace and returns the crash-analysis artefacts: the report,
@@ -543,7 +694,8 @@ pub fn run_benchmark(
 ///
 /// # Panics
 ///
-/// Panics if `config.record_persists` is false.
+/// Panics if `config.record_persists` is false or the configuration is
+/// invalid.
 pub fn run_with_crash(
     config: &SystemConfig,
     base_ipc: f64,
@@ -554,8 +706,11 @@ pub fn run_with_crash(
         config.record_persists,
         "crash analysis needs record_persists = true"
     );
-    let mut sim = SystemSim::with_base_ipc(config.clone(), base_ipc);
-    let report = sim.run(trace);
+    let setup = match SimSetup::with_base_ipc(config.clone(), base_ipc) {
+        Ok(setup) => setup,
+        Err(e) => panic!("invalid system configuration: {e}"),
+    };
+    let report = setup.run(trace);
     let crash_at = t.unwrap_or(Cycle::MAX);
     let image = PersistImage::at_time(&report.records, crash_at, config.bmt, config.key);
     let expected = ObserverExpectation::at_time(&report.records, crash_at);
@@ -574,17 +729,28 @@ mod tests {
 
     fn run_scheme(scheme: UpdateScheme, n: u64) -> RunReport {
         let trace = small_trace("gcc", n);
-        let mut sim = SystemSim::new(SystemConfig::for_scheme(scheme));
-        sim.run(&trace)
+        let setup = SimSetup::new(SystemConfig::for_scheme(scheme)).unwrap();
+        setup.run(&trace)
     }
 
     #[test]
     fn all_schemes_run_to_completion() {
-        for scheme in UpdateScheme::ALL {
+        for scheme in UpdateScheme::all() {
             let r = run_scheme(scheme, 20_000);
             assert!(r.total_cycles > Cycle::ZERO, "{scheme}: empty run");
             assert!(r.instructions >= 20_000);
         }
+    }
+
+    #[test]
+    fn setup_is_reusable_and_runs_are_independent() {
+        let trace = small_trace("gcc", 30_000);
+        let setup = SimSetup::new(SystemConfig::for_scheme(UpdateScheme::Coalescing)).unwrap();
+        let a = setup.run(&trace);
+        // A second run from the same setup starts from pristine state:
+        // identical report, no accumulation.
+        let b = setup.simulation().run(&trace);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -636,11 +802,9 @@ mod tests {
     fn full_scope_persists_more_than_nonstack() {
         let trace = small_trace("astar", 60_000);
         let mut cfg = SystemConfig::for_scheme(UpdateScheme::Sp);
-        let mut sim = SystemSim::new(cfg.clone());
-        let nonstack = sim.run(&trace);
+        let nonstack = SimSetup::new(cfg.clone()).unwrap().run(&trace);
         cfg.scope = ProtectionScope::Full;
-        let mut sim_full = SystemSim::new(cfg);
-        let full = sim_full.run(&trace);
+        let full = SimSetup::new(cfg).unwrap().run(&trace);
         assert!(full.persists > 2 * nonstack.persists);
         assert!(full.total_cycles > nonstack.total_cycles);
     }
@@ -678,8 +842,7 @@ mod tests {
         let mut cfg = SystemConfig::for_scheme(UpdateScheme::Unordered);
         cfg.record_persists = true;
         let trace = small_trace("gcc", 10_000);
-        let mut sim = SystemSim::new(cfg.clone());
-        let report = sim.run(&trace);
+        let report = SimSetup::new(cfg.clone()).unwrap().run(&trace);
         let checker = RecoveryChecker::new(cfg.bmt, cfg.key);
         let mut any_failure = false;
         // Scan crash points between component persists.
@@ -711,10 +874,17 @@ mod tests {
         tiny.wpq_entries = 4;
         let mut big = tiny.clone();
         big.wpq_entries = 64;
-        let r_tiny = SystemSim::new(tiny).run(&trace);
-        let r_big = SystemSim::new(big).run(&trace);
+        let r_tiny = SimSetup::new(tiny).unwrap().run(&trace);
+        let r_big = SimSetup::new(big).unwrap().run(&trace);
         assert!(r_tiny.wpq_stall_cycles >= r_big.wpq_stall_cycles);
         assert!(r_tiny.total_cycles >= r_big.total_cycles);
+    }
+
+    #[test]
+    fn simulations_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulation>();
+        assert_send::<SimSetup>();
     }
 
     #[test]

@@ -34,7 +34,9 @@ mod event;
 mod generator;
 mod profile;
 pub mod spec;
+mod store;
 
 pub use event::{Op, Trace, TraceEvent};
 pub use generator::{TraceGenerator, HEAP_BASE_PAGE, STACK_BASE_PAGE, STACK_PAGES};
 pub use profile::{WorkloadProfile, WorkloadProfileBuilder};
+pub use store::TraceStore;

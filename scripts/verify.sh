@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
-# Full verification gate: release build, the whole test suite, and
-# clippy with warnings promoted to errors. Run from the repo root.
+# Full verification gate: release build, the whole test suite, clippy
+# with warnings promoted to errors, and a parallel smoke pass that
+# regenerates every paper artefact through the run matrix. Run from
+# the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Smoke: every experiment spec end-to-end at reduced instruction count,
+# uncached so it always exercises the simulator, parallel so it also
+# exercises the worker pool. Byte-determinism of the output against a
+# serial run is covered by crates/bench/tests/determinism.rs.
+cargo run --release -q -p plp-bench --bin all -- 10000 7 --no-cache > /dev/null
 
 echo "verify: OK"

@@ -20,7 +20,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use plp::core::{SystemConfig, SystemSim, UpdateScheme};
+//! use plp::core::{SimSetup, SystemConfig, UpdateScheme};
 //! use plp::trace::{spec::benchmark, TraceGenerator};
 //!
 //! // Simulate the paper's `coalescing` scheme on a short gcc-like trace.
@@ -29,8 +29,8 @@
 //!
 //! let mut config = SystemConfig::default();
 //! config.scheme = UpdateScheme::Coalescing;
-//! let mut sim = SystemSim::new(config);
-//! let report = sim.run(&trace);
+//! let setup = SimSetup::new(config).expect("valid configuration");
+//! let report = setup.simulation().run(&trace);
 //! assert!(report.total_cycles.get() > 0);
 //! ```
 

@@ -118,10 +118,9 @@ proptest! {
         let t1 = TraceGenerator::new(profile.clone(), seed).generate(3_000);
         let t2 = TraceGenerator::new(profile, seed).generate(3_000);
         prop_assert_eq!(&t1, &t2);
-        let mut s1 = plp::core::SystemSim::new(cfg.clone());
-        let mut s2 = plp::core::SystemSim::new(cfg);
-        let r1 = s1.run(&t1);
-        let r2 = s2.run(&t2);
+        let setup = plp::core::SimSetup::new(cfg).expect("valid configuration");
+        let r1 = setup.run(&t1);
+        let r2 = setup.run(&t2);
         prop_assert_eq!(r1.total_cycles, r2.total_cycles);
         prop_assert_eq!(r1.engine.node_updates, r2.engine.node_updates);
     }

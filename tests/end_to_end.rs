@@ -12,7 +12,7 @@ const INSTRUCTIONS: u64 = 40_000;
 fn every_benchmark_every_scheme() {
     let levels = SystemConfig::default().bmt.levels() as u64;
     for profile in spec::all_benchmarks() {
-        for scheme in UpdateScheme::ALL_EXTENDED {
+        for scheme in UpdateScheme::all_extended() {
             let r = run_benchmark(
                 &profile,
                 &SystemConfig::for_scheme(scheme),
@@ -81,17 +81,19 @@ fn ppki_tracks_table5() {
 /// Architectural BMT state stays self-consistent after any run.
 #[test]
 fn architectural_tree_is_consistent() {
-    use plp::core::SystemSim;
+    use plp::core::SimSetup;
     use plp::trace::TraceGenerator;
     let profile = spec::benchmark("gcc").unwrap();
     let trace = TraceGenerator::new(profile.clone(), 21).generate(30_000);
-    for scheme in UpdateScheme::ALL_EXTENDED {
-        let mut sim = SystemSim::with_base_ipc(SystemConfig::for_scheme(scheme), profile.base_ipc);
+    for scheme in UpdateScheme::all_extended() {
+        let setup = SimSetup::with_base_ipc(SystemConfig::for_scheme(scheme), profile.base_ipc)
+            .expect("valid configuration");
+        let sim = setup.simulation();
         let before = sim.architectural_root();
-        let r = sim.run(&trace);
+        let (r, finished) = sim.run_with_state(&trace);
         if r.persists + r.writebacks > 0 {
             assert_ne!(
-                sim.architectural_root(),
+                finished.architectural_root(),
                 before,
                 "{scheme}: persists must move the root"
             );

@@ -1,0 +1,87 @@
+//! Workspace lint gate.
+//!
+//! Lints every `.rs` file under `crates/` against the rules in
+//! [`plp_analyze::lint::rules`], prints unallowed violations, and
+//! exits nonzero if any exist — `scripts/verify.sh` treats that as a
+//! build failure. With `--json <path>` it also writes the machine
+//! summary (`results/analysis.json` in the standard invocation).
+//!
+//! Usage: `plp-lint [--root <dir>] [--json <path>]`
+
+use plp_analyze::lint;
+
+fn usage() -> ! {
+    eprintln!("usage: plp-lint [--root <dir>] [--json <path>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut root = std::path::PathBuf::from(".");
+    let mut json_path: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = d.into(),
+                None => usage(),
+            },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p.into()),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let reports = match lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("plp-lint: cannot read workspace under {root:?}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if reports.is_empty() {
+        eprintln!("plp-lint: no sources found under {root:?}/crates");
+        std::process::exit(2);
+    }
+    let totals = lint::totals(&reports);
+
+    for v in &totals.violations {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.snippet);
+    }
+    let rule_summary: Vec<String> = totals
+        .per_rule
+        .iter()
+        .map(|(rule, (hits, allowed))| format!("{rule} {}/{hits}", hits - allowed))
+        .collect();
+    eprintln!(
+        "plp-lint: {} files, {} allow directives; violations/hits per rule: {}",
+        totals.files,
+        totals.allow_directives,
+        rule_summary.join(", ")
+    );
+
+    if let Some(path) = json_path {
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("plp-lint: cannot create {dir:?}: {e}");
+                std::process::exit(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&path, lint::analysis_json(&totals)) {
+            eprintln!("plp-lint: cannot write {path:?}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("plp-lint: wrote {}", path.display());
+    }
+
+    if !totals.violations.is_empty() {
+        eprintln!(
+            "plp-lint: FAIL — {} violation(s); fix them or annotate with \
+             `// lint: allow(<rule>) <reason>`",
+            totals.violations.len()
+        );
+        std::process::exit(1);
+    }
+    eprintln!("plp-lint: clean");
+}

@@ -1,0 +1,215 @@
+//! The lint pass: file discovery, per-file rule execution, and the
+//! aggregate report the `plp-lint` binary prints and serializes.
+
+pub mod rules;
+pub mod scan;
+
+use rules::{FileScope, Finding};
+use scan::SourceModel;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One linted file's results.
+#[derive(Debug, Clone)]
+pub struct FileReport {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// Every rule hit, allowed ones included.
+    pub findings: Vec<Finding>,
+    /// Allow directives present in the file.
+    pub allow_directives: usize,
+}
+
+/// Lints one file's text as `path` (repo-relative).
+pub fn lint_file(path: &str, text: &str) -> FileReport {
+    let model = SourceModel::parse(text);
+    let findings = rules::run(path, &model, FileScope::classify(path));
+    FileReport {
+        path: path.to_string(),
+        findings,
+        allow_directives: model.allow_directives,
+    }
+}
+
+/// All `.rs` files under `root/crates`, repo-relative, sorted — the
+/// deterministic lint universe. `vendor/` (offline dependency stubs)
+/// and build output are out of scope by construction.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// The whole pass over a workspace root.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<FileReport>> {
+    let mut reports = Vec::new();
+    for path in workspace_sources(root)? {
+        let text = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        reports.push(lint_file(&rel, &text));
+    }
+    Ok(reports)
+}
+
+/// Aggregate numbers for the summary line and `analysis.json`.
+#[derive(Debug, Clone, Default)]
+pub struct Totals {
+    /// Files linted.
+    pub files: usize,
+    /// Allow directives across the workspace.
+    pub allow_directives: usize,
+    /// Per-rule `(total hits, allowed hits)`.
+    pub per_rule: BTreeMap<&'static str, (usize, usize)>,
+    /// Hits not covered by a reasoned allow — the pass fails if any.
+    pub violations: Vec<Finding>,
+}
+
+/// Folds file reports into [`Totals`].
+pub fn totals(reports: &[FileReport]) -> Totals {
+    let mut t = Totals::default();
+    for rule in rules::RULES {
+        t.per_rule.insert(rule, (0, 0));
+    }
+    for r in reports {
+        t.files += 1;
+        t.allow_directives += r.allow_directives;
+        for f in &r.findings {
+            let e = t.per_rule.entry(f.rule).or_insert((0, 0));
+            e.0 += 1;
+            if f.allowed {
+                e.1 += 1;
+            } else {
+                t.violations.push(f.clone());
+            }
+        }
+    }
+    t
+}
+
+/// Renders `analysis.json`: rule hit counts, allow-list size, and any
+/// violations, all deterministically ordered. Hand-rolled writer — the
+/// vendored serde stubs have no serializer, and the schema is tiny.
+pub fn analysis_json(t: &Totals) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", t.files));
+    out.push_str(&format!(
+        "  \"allow_directives\": {},\n",
+        t.allow_directives
+    ));
+    out.push_str("  \"rules\": {\n");
+    let rules: Vec<String> = t
+        .per_rule
+        .iter()
+        .map(|(rule, (hits, allowed))| {
+            format!(
+                "    {}: {{\"hits\": {hits}, \"allowed\": {allowed}, \"violations\": {}}}",
+                json_string(rule),
+                hits - allowed
+            )
+        })
+        .collect();
+    out.push_str(&rules.join(",\n"));
+    out.push_str("\n  },\n");
+    out.push_str("  \"violations\": [\n");
+    let violations: Vec<String> = t
+        .violations
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"snippet\": {}}}",
+                json_string(f.rule),
+                json_string(&f.path),
+                f.line,
+                json_string(&f.snippet)
+            )
+        })
+        .collect();
+    out.push_str(&violations.join(",\n"));
+    if !violations.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::from("\"");
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_split_allowed_from_violations() {
+        let report = lint_file(
+            "crates/core/src/x.rs",
+            concat!(
+                "// lint: allow(no-panic-lib) demo\n",
+                "fn f() { a.unwrap(); }\n",
+                "fn g() { b.unwrap(); }\n",
+            ),
+        );
+        let t = totals(&[report]);
+        assert_eq!(t.per_rule[rules::NO_PANIC_LIB], (2, 1));
+        assert_eq!(t.violations.len(), 1);
+        assert_eq!(t.allow_directives, 1);
+    }
+
+    #[test]
+    fn analysis_json_is_well_formed_and_stable() {
+        let t = totals(&[lint_file(
+            "crates/core/src/x.rs",
+            "fn f() { a.unwrap(); }\n",
+        )]);
+        let a = analysis_json(&t);
+        let b = analysis_json(&t);
+        assert_eq!(a, b);
+        assert!(a.contains("\"files_scanned\": 1"));
+        assert!(a.contains("\"no-panic-lib\": {\"hits\": 1, \"allowed\": 0, \"violations\": 1}"));
+        assert!(a.contains("\"snippet\": \".unwrap\""));
+        // Balanced braces/brackets — a cheap well-formedness check
+        // given there is no JSON parser in the dependency set.
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+    }
+
+    #[test]
+    fn clean_file_produces_no_violations() {
+        let t = totals(&[lint_file(
+            "crates/core/src/x.rs",
+            "fn f() -> Result<u8, E> { value.try_into().map_err(E::from) }\n",
+        )]);
+        assert!(t.violations.is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! The four workspace lint rules.
+//!
+//! Each rule is a pattern over the lexed [`SourceModel`] (comments and
+//! literals already blanked, test regions marked). Rules fire only
+//! outside test code, and every hit can be excused in the source with
+//! a reasoned `// lint: allow(<rule>) <why>` directive — a directive
+//! without a reason is itself a finding ([`ALLOW_REASON`]).
+
+use super::scan::{parse_allows, SourceModel};
+
+/// Stable rule identifier (the name used in allow directives).
+pub type RuleId = &'static str;
+
+/// Library code must not panic: `.unwrap()`, `.expect(…)` and
+/// `panic!` belong in tests and binaries, not in the simulator —
+/// errors surface as `ConfigError`/`NvmError` values instead.
+pub const NO_PANIC_LIB: RuleId = "no-panic-lib";
+/// Address/geometry arithmetic in `plp-core`/`plp-bmt` must not use
+/// bare `as` narrowing; use `try_from`/`try_into` or justify the cast.
+pub const NARROWING_CAST: RuleId = "narrowing-cast";
+/// `match`es over an update scheme must stay exhaustive — a `_ =>`
+/// arm silently absorbs the next scheme someone adds.
+pub const SCHEME_MATCH_WILDCARD: RuleId = "scheme-match-wildcard";
+/// Simulation code must be deterministic: no wall clocks and no
+/// OS-seeded RNGs outside explicitly seeded constructors.
+pub const NONDETERMINISM: RuleId = "nondeterminism";
+/// An allow directive without a reason.
+pub const ALLOW_REASON: RuleId = "allow-reason";
+
+/// All real rules, in reporting order ([`ALLOW_REASON`] is meta).
+pub const RULES: [RuleId; 4] = [
+    NO_PANIC_LIB,
+    NARROWING_CAST,
+    SCHEME_MATCH_WILDCARD,
+    NONDETERMINISM,
+];
+
+/// One rule hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending pattern, for the report.
+    pub snippet: String,
+    /// Whether a reasoned allow directive covers the hit.
+    pub allowed: bool,
+}
+
+/// Where a file sits, which decides which rules see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileScope {
+    /// Under some crate's `src/`, excluding `src/bin/` — code other
+    /// crates link against.
+    pub library: bool,
+    /// In `plp-core` or `plp-bmt`, the crates doing address and
+    /// geometry math.
+    pub address_math: bool,
+}
+
+impl FileScope {
+    /// Classifies a repo-relative path.
+    pub fn classify(path: &str) -> Self {
+        let library = path.contains("/src/") && !path.contains("/src/bin/");
+        let address_math = library
+            && (path.starts_with("crates/core/") || path.starts_with("crates/bmt/"));
+        FileScope {
+            library,
+            address_math,
+        }
+    }
+}
+
+/// Runs every applicable rule over `model`, returning hits (allowed
+/// ones included, flagged) in line order.
+pub fn run(path: &str, model: &SourceModel, scope: FileScope) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut push = |rule: RuleId, line: usize, snippet: &str| {
+        findings.push(Finding {
+            rule,
+            path: path.to_string(),
+            line: line + 1,
+            snippet: snippet.to_string(),
+            allowed: model.allows(line, rule),
+        });
+    };
+
+    // Depth of the innermost scheme-`match` block still open, if any.
+    let mut scheme_match: Option<i64> = None;
+    let mut depth: i64 = 0;
+
+    for (idx, line) in model.lines.iter().enumerate() {
+        for d in parse_allows(&line.comment) {
+            if !d.has_reason {
+                push(ALLOW_REASON, idx, &format!("lint: allow({}) without a reason", d.rule));
+            }
+        }
+        if line.in_test {
+            depth += brace_delta(&line.code);
+            continue;
+        }
+        let code = line.code.as_str();
+
+        if scope.library {
+            for pat in [".unwrap()", ".expect(", "panic!(", "unimplemented!(", "todo!("] {
+                for _ in code.matches(pat) {
+                    push(NO_PANIC_LIB, idx, pat.trim_end_matches(['(', ')']));
+                }
+            }
+        }
+        if scope.address_math {
+            for cast in narrowing_casts(code) {
+                push(NARROWING_CAST, idx, &cast);
+            }
+        }
+        for pat in ["SystemTime", "Instant::now", "thread_rng", "from_entropy"] {
+            if code.contains(pat) {
+                push(NONDETERMINISM, idx, pat);
+            }
+        }
+
+        // Exhaustive-scheme-match tracking: once inside a `match` whose
+        // scrutinee mentions a scheme, a `_ =>` arm at any depth above
+        // the match body is a wildcard over schemes.
+        if scheme_match.is_none() && code.contains("match ") && mentions_scheme(code) {
+            scheme_match = Some(depth);
+        }
+        if let Some(open) = scheme_match {
+            if code.contains("_ =>") || code.contains("_ if ") {
+                push(SCHEME_MATCH_WILDCARD, idx, "_ =>");
+            }
+            depth += brace_delta(code);
+            if depth <= open {
+                scheme_match = None;
+            }
+        } else {
+            depth += brace_delta(code);
+        }
+    }
+    findings
+}
+
+fn brace_delta(code: &str) -> i64 {
+    let open = code.matches('{').count() as i64;
+    let close = code.matches('}').count() as i64;
+    open - close
+}
+
+fn mentions_scheme(code: &str) -> bool {
+    let after = &code[code.find("match ").unwrap_or(0)..];
+    after.contains("scheme") || after.contains("UpdateScheme")
+}
+
+/// The integer types an `as` cast may silently truncate to.
+const NARROW: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// Every `… as <narrow-int>` occurrence on a blanked code line.
+fn narrowing_casts(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (pos, _) in code.match_indices(" as ") {
+        let rest = &code[pos + 4..];
+        let ty: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if NARROW.contains(&ty.as_str()) {
+            out.push(format!("as {ty}"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: FileScope = FileScope {
+        library: true,
+        address_math: true,
+    };
+
+    fn hits(src: &str, scope: FileScope) -> Vec<Finding> {
+        run("crates/core/src/x.rs", &SourceModel::parse(src), scope)
+    }
+
+    #[test]
+    fn panics_flagged_in_library_not_tests() {
+        let src = concat!(
+            "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test] fn t() { z.unwrap(); }\n",
+            "}\n",
+        );
+        let f = hits(src, LIB);
+        let panics: Vec<_> = f.iter().filter(|f| f.rule == NO_PANIC_LIB).collect();
+        assert_eq!(panics.len(), 3);
+        assert!(panics.iter().all(|f| f.line == 1));
+    }
+
+    #[test]
+    fn binaries_are_exempt_from_no_panic() {
+        let scope = FileScope::classify("crates/bench/src/bin/all.rs");
+        assert!(!scope.library);
+        let f = run(
+            "crates/bench/src/bin/all.rs",
+            &SourceModel::parse("fn main() { x.unwrap(); }\n"),
+            scope,
+        );
+        assert!(f.iter().all(|f| f.rule != NO_PANIC_LIB));
+    }
+
+    #[test]
+    fn narrowing_casts_only_in_address_crates() {
+        let src = "let x = big as u32; let y = big as u64; let z = n as usize;\n";
+        let f = hits(src, LIB);
+        let casts: Vec<_> = f.iter().filter(|f| f.rule == NARROWING_CAST).collect();
+        assert_eq!(casts.len(), 2, "u64 is not narrowing: {casts:?}");
+        let other = FileScope::classify("crates/trace/src/lib.rs");
+        assert!(!other.address_math);
+    }
+
+    #[test]
+    fn scheme_match_wildcards_are_flagged() {
+        let src = concat!(
+            "match config.scheme {\n",
+            "    UpdateScheme::Sp => a(),\n",
+            "    _ => b(),\n",
+            "}\n",
+            "match unrelated {\n",
+            "    _ => c(),\n",
+            "}\n",
+        );
+        let f = hits(src, LIB);
+        let wild: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == SCHEME_MATCH_WILDCARD)
+            .collect();
+        assert_eq!(wild.len(), 1);
+        assert_eq!(wild[0].line, 3);
+    }
+
+    #[test]
+    fn nondeterminism_sources_are_flagged() {
+        let f = hits("let t = SystemTime::now(); let r = thread_rng();\n", LIB);
+        assert_eq!(f.iter().filter(|f| f.rule == NONDETERMINISM).count(), 2);
+    }
+
+    #[test]
+    fn reasoned_allows_mark_findings_allowed() {
+        let src = concat!(
+            "// lint: allow(no-panic-lib) poisoned mutex means a worker already panicked\n",
+            "let g = m.lock().unwrap();\n",
+            "let h = n.lock().unwrap();\n",
+        );
+        let f = hits(src, LIB);
+        let unwraps: Vec<_> = f.iter().filter(|f| f.rule == NO_PANIC_LIB).collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(unwraps[0].allowed);
+        assert!(!unwraps[1].allowed);
+    }
+
+    #[test]
+    fn reasonless_allow_is_a_finding() {
+        let f = hits("// lint: allow(no-panic-lib)\nx.unwrap();\n", LIB);
+        assert!(f.iter().any(|f| f.rule == ALLOW_REASON));
+        assert!(f
+            .iter()
+            .any(|f| f.rule == NO_PANIC_LIB && !f.allowed));
+    }
+}

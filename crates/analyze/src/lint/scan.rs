@@ -1,0 +1,357 @@
+//! Lexical source model the lint rules run over.
+//!
+//! A full parser would be overkill for four rules, but raw text is too
+//! little: `.unwrap()` inside a string literal or a doc comment is not
+//! a panic site. The scanner walks each file once with a small state
+//! machine that blanks out comment and literal bodies (preserving
+//! line structure), captures comment text for `// lint: allow(...)`
+//! directives, and tracks brace depth to know which lines sit inside
+//! `#[cfg(test)]` / `#[test]` regions, where the rules do not apply.
+
+/// One source line, post-lex.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The line with comments and literal bodies replaced by spaces —
+    /// what the rules pattern-match against.
+    pub code: String,
+    /// Concatenated comment text on the line (no `//` markers).
+    pub comment: String,
+    /// Whether the line starts inside a test region.
+    pub in_test: bool,
+}
+
+/// A lexed file.
+#[derive(Debug, Clone, Default)]
+pub struct SourceModel {
+    /// Lines in file order.
+    pub lines: Vec<Line>,
+    /// Total `lint: allow(...)` directives found (well- or ill-formed).
+    pub allow_directives: usize,
+}
+
+/// A parsed `// lint: allow(<rule>) <reason>` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// The rule identifier inside the parentheses.
+    pub rule: String,
+    /// Whether a non-empty reason followed the parentheses.
+    pub has_reason: bool,
+}
+
+/// Extracts every allow directive from one line's comment text.
+pub fn parse_allows(comment: &str) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("lint: allow(") {
+        rest = &rest[at + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        let rule = rest[..close].trim().to_string();
+        rest = &rest[close + 1..];
+        // Rule ids are kebab-case; anything else (e.g. the `<rule>`
+        // placeholder in docs describing the syntax) is a mention,
+        // not a directive.
+        if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
+            continue;
+        }
+        // The reason runs to the next directive (or end of comment).
+        let reason_end = rest.find("lint: allow(").unwrap_or(rest.len());
+        let has_reason = !rest[..reason_end].trim().is_empty();
+        out.push(AllowDirective { rule, has_reason });
+    }
+    out
+}
+
+impl SourceModel {
+    /// Whether `rule` is allowed on `line` (0-based): a directive on
+    /// the line itself or on the line directly above, reason present.
+    pub fn allows(&self, line: usize, rule: &str) -> bool {
+        let mut candidates = vec![line];
+        if line > 0 {
+            candidates.push(line - 1);
+        }
+        candidates.into_iter().any(|l| {
+            parse_allows(&self.lines[l].comment)
+                .iter()
+                .any(|d| d.rule == rule && d.has_reason)
+        })
+    }
+
+    /// Lexes a file.
+    pub fn parse(text: &str) -> Self {
+        Lexer::default().run(text)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Inside `"…"`.
+    Str,
+    /// Inside `r##"…"##` with this many hashes.
+    RawStr(u32),
+    /// Inside `/* … */`, which nests in Rust.
+    Block(u32),
+}
+
+#[derive(Default)]
+struct Lexer {
+    mode: Option<Mode>,
+    depth: u32,
+    /// Depths at which a test region opened; non-empty = in test code.
+    test_stack: Vec<u32>,
+    /// A `#[cfg(test)]` / `#[test]` was seen and its item's `{` is
+    /// still ahead.
+    pending_test: bool,
+}
+
+impl Lexer {
+    fn run(mut self, text: &str) -> SourceModel {
+        self.mode = Some(Mode::Code);
+        let mut model = SourceModel::default();
+        for raw in text.lines() {
+            let line = self.lex_line(raw);
+            model.allow_directives += parse_allows(&line.comment).len();
+            model.lines.push(line);
+        }
+        model
+    }
+
+    fn lex_line(&mut self, raw: &str) -> Line {
+        let b: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let in_test = !self.test_stack.is_empty();
+        let mut i = 0;
+        while i < b.len() {
+            let c = b[i];
+            match self.mode.unwrap_or(Mode::Code) {
+                Mode::Code => {
+                    if c == '/' && b.get(i + 1) == Some(&'/') {
+                        // Line comment (incl. doc comments): capture
+                        // the text and stop lexing code on this line.
+                        let text: String = b[i + 2..].iter().collect();
+                        comment.push_str(text.trim_start_matches(['/', '!']).trim());
+                        comment.push(' ');
+                        break;
+                    } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                        self.mode = Some(Mode::Block(1));
+                        code.push_str("  ");
+                        i += 2;
+                        continue;
+                    } else if c == '"' {
+                        self.mode = Some(Mode::Str);
+                        code.push('"');
+                    } else if (c == 'r' || c == 'b')
+                        && (i == 0 || (!b[i - 1].is_alphanumeric() && b[i - 1] != '_'))
+                    {
+                        // Possible raw-string head: r"…", r#"…"#, br"…".
+                        if let Some((skip, hashes)) = raw_string_head(&b[i..]) {
+                            self.mode = Some(Mode::RawStr(hashes));
+                            for _ in 0..skip {
+                                code.push(' ');
+                            }
+                            i += skip;
+                            continue;
+                        }
+                        code.push(c);
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a literal closes
+                        // with a quote one or two chars ahead (or is
+                        // an escape); a lifetime never closes.
+                        if b.get(i + 1) == Some(&'\\') {
+                            let close = b[i + 2..].iter().position(|&x| x == '\'');
+                            let end = close.map(|p| i + 3 + p).unwrap_or(b.len());
+                            for _ in i..end.min(b.len()) {
+                                code.push(' ');
+                            }
+                            i = end;
+                            continue;
+                        } else if b.get(i + 2) == Some(&'\'') {
+                            code.push_str("   ");
+                            i += 3;
+                            continue;
+                        }
+                        code.push('\'');
+                    } else {
+                        if c == '{' {
+                            if self.pending_test {
+                                self.test_stack.push(self.depth);
+                                self.pending_test = false;
+                            }
+                            self.depth += 1;
+                        } else if c == '}' {
+                            self.depth = self.depth.saturating_sub(1);
+                            if self.test_stack.last() == Some(&self.depth) {
+                                self.test_stack.pop();
+                            }
+                        } else if c == ';' && self.pending_test {
+                            // `#[cfg(test)] use …;` — attribute
+                            // consumed by a braceless item.
+                            self.pending_test = false;
+                        }
+                        code.push(c);
+                    }
+                }
+                Mode::Str => {
+                    if c == '\\' {
+                        code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        self.mode = Some(Mode::Code);
+                        code.push('"');
+                    } else {
+                        code.push(' ');
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&b[i + 1..], hashes) {
+                        for _ in 0..=hashes {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        self.mode = Some(Mode::Code);
+                        continue;
+                    }
+                    code.push(' ');
+                }
+                Mode::Block(depth) => {
+                    if c == '*' && b.get(i + 1) == Some(&'/') {
+                        self.mode = if depth == 1 {
+                            Some(Mode::Code)
+                        } else {
+                            Some(Mode::Block(depth - 1))
+                        };
+                        code.push_str("  ");
+                        i += 2;
+                        continue;
+                    } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                        self.mode = Some(Mode::Block(depth + 1));
+                        code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    comment.push(c);
+                    code.push(' ');
+                }
+            }
+            i += 1;
+        }
+        if matches!(self.mode, Some(Mode::Block(_))) {
+            comment.push(' ');
+        }
+        if code.contains("#[cfg(test)]") || code.contains("#[test]") {
+            self.pending_test = true;
+        }
+        Line {
+            code,
+            comment,
+            in_test,
+        }
+    }
+
+}
+
+/// If `b` starts a raw (byte) string head `r"`/`r#"`/`br##"`…, its
+/// `(length, hash_count)`.
+fn raw_string_head(b: &[char]) -> Option<(usize, u32)> {
+    let mut i = 0;
+    if b.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if b.get(i) != Some(&'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0;
+    while b.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    (b.get(i) == Some(&'"')).then_some((i + 1, hashes))
+}
+
+/// Whether the chars after a `"` close a raw string with `hashes` `#`s.
+fn closes_raw(after: &[char], hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| after.get(k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let m = SourceModel::parse(concat!(
+            "let x = \"call .unwrap() here\"; // .unwrap() in comment\n",
+            "let y = a.unwrap();\n",
+        ));
+        assert!(!m.lines[0].code.contains("unwrap"));
+        assert!(m.lines[0].comment.contains(".unwrap() in comment"));
+        assert!(m.lines[1].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let m = SourceModel::parse(concat!(
+            "let s = r#\"panic!(\"no\")\"#;\n",
+            "let c = '\"'; let d = '\\''; let e = x.unwrap();\n",
+        ));
+        assert!(!m.lines[0].code.contains("panic"));
+        assert!(m.lines[1].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let m = SourceModel::parse("/* a /* b */ still.unwrap() */\nx.unwrap();\n");
+        assert!(!m.lines[0].code.contains("unwrap"));
+        assert!(m.lines[1].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods() {
+        let src = concat!(
+            "fn lib() { x.unwrap(); }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { y.unwrap(); }\n",
+            "}\n",
+            "fn lib2() {}\n",
+        );
+        let m = SourceModel::parse(src);
+        assert!(!m.lines[0].in_test);
+        assert!(m.lines[3].in_test, "inside cfg(test) mod");
+        assert!(!m.lines[5].in_test, "after the mod closes");
+    }
+
+    #[test]
+    fn braceless_cfg_test_items_do_not_leak() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "use foo::bar;\n",
+            "fn lib() { x.unwrap(); }\n",
+        );
+        let m = SourceModel::parse(src);
+        assert!(!m.lines[2].in_test);
+    }
+
+    #[test]
+    fn allow_directives_parse_and_require_reasons() {
+        let ds = parse_allows("lint: allow(no-panic-lib) poisoned lock is fatal");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, "no-panic-lib");
+        assert!(ds[0].has_reason);
+        let bare = parse_allows("lint: allow(no-panic-lib)");
+        assert!(!bare[0].has_reason);
+
+        let m = SourceModel::parse(concat!(
+            "// lint: allow(no-panic-lib) startup-only\n",
+            "x.unwrap();\n",
+            "y.unwrap();\n",
+        ));
+        assert_eq!(m.allow_directives, 1);
+        assert!(m.allows(1, "no-panic-lib"), "line under the directive");
+        assert!(!m.allows(2, "no-panic-lib"), "two lines down is not covered");
+    }
+}

@@ -39,6 +39,7 @@ impl Harness {
             meta: &mut self.meta,
             nvm: &mut self.nvm,
             stats: &mut self.stats,
+            tap: None,
         }
     }
 }

@@ -73,4 +73,40 @@ fn main() {
         if cached { ", cached" } else { ", uncached" },
         stats.summary()
     );
+
+    // Sanitizer verdict — stderr only, so stdout stays byte-identical
+    // with sanitizer-off runs. Any invariant violation fails the
+    // invocation: the numbers above would be measurements of a broken
+    // ordering model.
+    let (mut checked, mut violations) = (0u64, 0u64);
+    let mut offenders = Vec::new();
+    for (key, report) in results.iter() {
+        let s = &report.sanitizer;
+        checked += s.checked_persists + s.checked_node_updates + s.checked_epochs;
+        violations += s.total_violations();
+        if s.total_violations() > 0 {
+            offenders.push((key.as_str(), s));
+        }
+    }
+    eprintln!(
+        "[plp-bench] sanitizer: {} events checked across {} runs, {} violations",
+        checked,
+        results.len(),
+        violations
+    );
+    if violations > 0 {
+        offenders.sort_unstable_by_key(|(key, _)| *key);
+        for (key, s) in offenders {
+            eprintln!(
+                "[plp-bench]   {} violations ({} detailed, {} dropped) in {key}",
+                s.total_violations(),
+                s.violations.len(),
+                s.dropped_violations
+            );
+            for v in s.violations.iter().take(5) {
+                eprintln!("[plp-bench]     {v}");
+            }
+        }
+        std::process::exit(1);
+    }
 }

@@ -35,6 +35,7 @@ fn usage() -> ! {
         "usage: plp_sim [--bench NAME] [--scheme NAME] [--instructions N] [--seed N]\n\
         \x20              [--epoch N] [--wpq N] [--ett N] [--mac CYCLES] [--llc MB]\n\
         \x20              [--mdc KB] [--scope nonstack|full] [--ideal-mdc] [--no-baseline]\n\
+        \x20              [--sanitizer off|check]\n\
         \x20      plp_sim --list\n\
         \n\
         schemes: {}",
@@ -110,6 +111,12 @@ fn parse_args() -> Args {
                     "full" => ProtectionScope::Full,
                     _ => usage(),
                 }
+            }
+            "--sanitizer" => {
+                args.config.sanitizer = plp_core::sanitizer::SanitizerMode::parse(
+                    &value(&mut it),
+                )
+                .unwrap_or_else(|| usage())
             }
             "--ideal-mdc" => args.config.ideal_metadata = true,
             "--no-baseline" => args.baseline = false,

@@ -21,12 +21,13 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use plp_cache::CacheStats;
-use plp_core::RunReport;
+use plp_core::sanitizer::{SanitizerMode, Violation, ViolationKind};
+use plp_core::{EpochId, RunReport, UpdateScheme};
 use plp_events::Cycle;
 use plp_nvm::NvmStats;
 
 /// Cache format version; part of every content address.
-pub const CACHE_FORMAT: &str = "plp-run-cache v1";
+pub const CACHE_FORMAT: &str = "plp-run-cache v2";
 
 /// 64-bit FNV-1a of `key` — the content address.
 pub fn key_hash(key: &str) -> u64 {
@@ -103,6 +104,31 @@ pub fn encode(key: &str, report: &RunReport) -> String {
         n.read_retries,
         n.read_failures
     );
+    let s = &report.sanitizer;
+    let _ = writeln!(
+        out,
+        "sanitizer {} {} {} {} {} {}",
+        s.mode.name(),
+        s.checked_persists,
+        s.checked_node_updates,
+        s.checked_epochs,
+        s.dropped_violations,
+        s.violations.len()
+    );
+    for v in &s.violations {
+        let _ = writeln!(
+            out,
+            "violation {} {} {} {} {} {} {} {}",
+            v.kind.name(),
+            v.scheme.name(),
+            v.cycle.get(),
+            v.epoch.0,
+            v.persist,
+            v.level,
+            v.node,
+            v.addr
+        );
+    }
     out.push_str("end\n");
     out
 }
@@ -196,6 +222,42 @@ pub fn decode(key: &str, text: &str) -> Option<RunReport> {
         },
         _ => return None,
     };
+    let s = p.fields("sanitizer")?;
+    let [mode, counters @ ..] = s.as_slice() else {
+        return None;
+    };
+    report.sanitizer.mode = SanitizerMode::parse(mode)?;
+    let c: Vec<u64> = counters
+        .iter()
+        .map(|s| s.parse().ok())
+        .collect::<Option<_>>()?;
+    let [persists, node_updates, sealed_epochs, dropped, n_violations] = c.as_slice() else {
+        return None;
+    };
+    report.sanitizer.checked_persists = *persists;
+    report.sanitizer.checked_node_updates = *node_updates;
+    report.sanitizer.checked_epochs = *sealed_epochs;
+    report.sanitizer.dropped_violations = *dropped;
+    for _ in 0..*n_violations {
+        let f = p.fields("violation")?;
+        let [kind, scheme, rest @ ..] = f.as_slice() else {
+            return None;
+        };
+        let v: Vec<u64> = rest.iter().map(|s| s.parse().ok()).collect::<Option<_>>()?;
+        let [cycle, epoch, persist, level, node, addr] = v.as_slice() else {
+            return None;
+        };
+        report.sanitizer.violations.push(Violation {
+            kind: ViolationKind::parse(kind)?,
+            scheme: UpdateScheme::parse(scheme)?,
+            cycle: Cycle::new(*cycle),
+            epoch: EpochId(*epoch),
+            persist: *persist,
+            level: u32::try_from(*level).ok()?,
+            node: *node,
+            addr: *addr,
+        });
+    }
     if p.lines.next()? != "end" {
         return None;
     }
@@ -247,6 +309,24 @@ mod tests {
     #[test]
     fn roundtrip_is_lossless() {
         let (key, report) = sample();
+        let text = encode(&key, &report);
+        assert_eq!(decode(&key, &text), Some(report));
+    }
+
+    #[test]
+    fn sanitizer_violations_roundtrip() {
+        let (key, mut report) = sample();
+        report.sanitizer.dropped_violations = 2;
+        report.sanitizer.violations.push(Violation {
+            kind: ViolationKind::WawHazard,
+            scheme: UpdateScheme::O3,
+            cycle: Cycle::new(123),
+            epoch: EpochId(4),
+            persist: plp_core::sanitizer::NO_FIELD,
+            level: 3,
+            node: 17,
+            addr: 0x40,
+        });
         let text = encode(&key, &report);
         assert_eq!(decode(&key, &text), Some(report));
     }

@@ -79,6 +79,7 @@ impl ResultSet {
     /// didn't declare.
     pub fn get(&self, request: &RunRequest) -> &RunReport {
         self.reports.get(&request.key()).unwrap_or_else(|| {
+            // lint: allow(no-panic-lib) documented panic contract for a spec authoring bug
             panic!(
                 "run matrix has no result for {}/{} (spec render/requests mismatch)",
                 request.bench, request.config.scheme
@@ -89,6 +90,19 @@ impl ResultSet {
     /// Convenience lookup by parts (see [`RunRequest::new`]).
     pub fn report(&self, bench: &str, config: &SystemConfig, settings: RunSettings) -> &RunReport {
         self.get(&RunRequest::new(bench, config.clone(), settings))
+    }
+
+    /// Inserts (or replaces) the report held for `request`. Lets tests
+    /// and tools re-key reports across configurations — e.g. the
+    /// sanitizer determinism pin, which files sanitizer-off reports
+    /// under sanitizer-on keys before rendering.
+    pub fn insert(&mut self, request: &RunRequest, report: RunReport) {
+        self.reports.insert(request.key(), report);
+    }
+
+    /// Iterates over `(key, report)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &RunReport)> {
+        self.reports.iter()
     }
 
     /// Number of distinct runs held.
@@ -179,6 +193,7 @@ impl MatrixStats {
 /// wall-clock. Workers claim jobs off a shared atomic index; each
 /// writes its result into that job's dedicated slot.
 pub fn execute(requests: &[RunRequest], opts: &MatrixOptions) -> (ResultSet, MatrixStats) {
+    // lint: allow(nondeterminism) wall-clock feeds MatrixStats on stderr, never a simulation
     let started = Instant::now();
 
     // Deduplicate, preserving first-seen order.
@@ -203,6 +218,7 @@ pub fn execute(requests: &[RunRequest], opts: &MatrixOptions) -> (ResultSet, Mat
             let idx = next.fetch_add(1, Ordering::Relaxed);
             let Some(req) = unique.get(idx) else { break };
             let key = req.key();
+            // lint: allow(nondeterminism) wall-clock feeds throughput stats, never a simulation
             let run_started = Instant::now();
             let report = match opts
                 .cache_dir
@@ -222,8 +238,10 @@ pub fn execute(requests: &[RunRequest], opts: &MatrixOptions) -> (ResultSet, Mat
                 }
             };
             local.record(report.total_cycles.get(), run_started.elapsed());
+            // lint: allow(no-panic-lib) the atomic claim index gives each slot one writer
             slots[idx].set(report).expect("each job claimed once");
         }
+        // lint: allow(no-panic-lib) a poisoned lock means a worker already panicked
         throughput.lock().unwrap().merge(local);
     };
 
@@ -239,6 +257,7 @@ pub fn execute(requests: &[RunRequest], opts: &MatrixOptions) -> (ResultSet, Mat
 
     let mut reports = HashMap::with_capacity(unique.len());
     for (req, slot) in unique.iter().zip(slots) {
+        // lint: allow(no-panic-lib) the scoped join guarantees every slot was filled
         reports.insert(req.key(), slot.into_inner().expect("all jobs completed"));
     }
     let stats = MatrixStats {
@@ -246,6 +265,7 @@ pub fn execute(requests: &[RunRequest], opts: &MatrixOptions) -> (ResultSet, Mat
         unique: seen.len(),
         cache_hits: cache_hits.into_inner(),
         elapsed: started.elapsed(),
+        // lint: allow(no-panic-lib) a poisoned lock means a worker already panicked
         throughput: throughput.into_inner().unwrap(),
     };
     (ResultSet { reports }, stats)
@@ -254,9 +274,11 @@ pub fn execute(requests: &[RunRequest], opts: &MatrixOptions) -> (ResultSet, Mat
 /// Runs one request, sharing its trace through `traces`.
 fn run_request(req: &RunRequest, traces: &TraceStore) -> RunReport {
     let profile = spec::benchmark(&req.bench)
+        // lint: allow(no-panic-lib) a request naming an unknown benchmark is a spec bug
         .unwrap_or_else(|| panic!("unknown benchmark '{}' in run request", req.bench));
     let trace = traces.get(&profile, req.instructions, req.seed);
     let setup = SimSetup::for_profile(req.config.clone(), &profile, req.seed)
+        // lint: allow(no-panic-lib) specs declare only validated configurations
         .unwrap_or_else(|e| panic!("invalid configuration in run request: {e}"));
     setup.run(&trace)
 }

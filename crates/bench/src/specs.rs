@@ -352,6 +352,7 @@ fn table5_render(results: &ResultSet, s: RunSettings) -> String {
     let [full_cfg, wb_cfg, sp_cfg, o3_cfg] = table5_configs();
     for profile in spec::all_benchmarks() {
         let (p_full, p_wb, p_sp, p_o3) =
+            // lint: allow(no-panic-lib) the reference table covers every registered benchmark
             spec::table5_reference(&profile.name).expect("known benchmark");
         let full = results.report(&profile.name, &full_cfg, s).persist_ppki();
         let wb_report = results.report(&profile.name, &wb_cfg, s);
@@ -580,6 +581,7 @@ fn summary_render(results: &ResultSet, s: RunSettings) -> String {
             .zip(&base)
             .map(|(r, b)| r.normalized_to(b))
             .collect();
+        // lint: allow(no-panic-lib) cycle counts are positive, so normalized times are too
         let g = geometric_mean(&values).expect("positive normalized times");
         gmeans.push((scheme, g, runs));
     }
@@ -597,16 +599,17 @@ fn summary_render(results: &ResultSet, s: RunSettings) -> String {
     }
     out.push('\n');
 
-    let sp = gmeans.iter().find(|(s, ..)| *s == UpdateScheme::Sp).unwrap();
-    let pipe = gmeans
-        .iter()
-        .find(|(s, ..)| *s == UpdateScheme::Pipeline)
-        .unwrap();
-    let o3 = gmeans.iter().find(|(s, ..)| *s == UpdateScheme::O3).unwrap();
-    let co = gmeans
-        .iter()
-        .find(|(s, ..)| *s == UpdateScheme::Coalescing)
-        .unwrap();
+    let by_scheme = |want: UpdateScheme| {
+        gmeans
+            .iter()
+            .find(|(s, ..)| *s == want)
+            // lint: allow(no-panic-lib) gmeans covers every persisting scheme by construction
+            .unwrap_or_else(|| panic!("gmean missing for {}", want.name()))
+    };
+    let sp = by_scheme(UpdateScheme::Sp);
+    let pipe = by_scheme(UpdateScheme::Pipeline);
+    let o3 = by_scheme(UpdateScheme::O3);
+    let co = by_scheme(UpdateScheme::Coalescing);
 
     let _ = writeln!(
         out,
@@ -776,6 +779,7 @@ fn table1_render(_results: &ResultSet, settings: RunSettings) -> String {
     let mut out = String::new();
     let mut cfg = SystemConfig::for_scheme(UpdateScheme::Sp);
     cfg.record_persists = true;
+    // lint: allow(no-panic-lib) static registry lookup of a benchmark this file names
     let profile = spec::benchmark("milc").expect("known benchmark");
     let trace = TraceGenerator::new(profile.clone(), settings.seed).generate(settings.instructions);
     let (report, _, _) = run_with_crash(&cfg, profile.base_ipc, &trace, None);
@@ -833,6 +837,7 @@ fn table2_render(_results: &ResultSet, settings: RunSettings) -> String {
     let mut out = String::new();
     let mut cfg = SystemConfig::for_scheme(UpdateScheme::Sp);
     cfg.record_persists = true;
+    // lint: allow(no-panic-lib) static registry lookup of a benchmark this file names
     let profile = spec::benchmark("milc").expect("known benchmark");
     let trace = TraceGenerator::new(profile.clone(), settings.seed).generate(settings.instructions);
     let (report, _, _) = run_with_crash(&cfg, profile.base_ipc, &trace, None);
@@ -842,6 +847,7 @@ fn table2_render(_results: &ResultSet, settings: RunSettings) -> String {
     // swap is meaningful, and crash between their completions.
     let first = (report.records.len() / 2..report.records.len() - 1)
         .find(|&i| report.records[i].addr.page() != report.records[i + 1].addr.page())
+        // lint: allow(no-panic-lib) the milc trace always persists to multiple pages
         .expect("adjacent different-page persists");
     let second = first + 1;
     let t1 = report.records[first].completed_at();

@@ -1,0 +1,63 @@
+//! The sanitizer's zero-interference guarantee: turning the invariant
+//! sanitizer on must not change a single byte of any rendered
+//! artefact. All checking happens off to the side of the timing model
+//! (violations go to the report's sanitizer summary, and from there to
+//! stderr/JSON), so an experiment's stdout is a pure function of the
+//! simulated system alone.
+
+use plp_bench::{matrix, specs, MatrixOptions, RunSettings};
+use plp_core::SanitizerMode;
+
+#[test]
+fn sanitizer_on_and_off_render_byte_identical_artefacts() {
+    let s = RunSettings {
+        instructions: 2_000,
+        seed: 3,
+    };
+    let spec_ids = ["fig10", "fig11"];
+    let mut on_requests = Vec::new();
+    for id in spec_ids {
+        on_requests.extend(specs::find(id).expect("registered").runs_needed(s));
+    }
+    // Specs build configs with the default sanitizer mode; this test
+    // is vacuous if that default ever stops being Check.
+    assert!(on_requests.iter().all(|r| r.config.sanitizer.is_on()));
+
+    let mut off_requests = on_requests.clone();
+    for req in &mut off_requests {
+        req.config.sanitizer = SanitizerMode::Off;
+    }
+
+    let (on, _) = matrix::execute(&on_requests, &MatrixOptions::serial());
+    let (mut off, _) = matrix::execute(&off_requests, &MatrixOptions::serial());
+
+    // The two runs genuinely differ where they should: the on-mode
+    // reports carry checking work, the off-mode ones none at all.
+    let mut checked = 0;
+    for (on_req, off_req) in on_requests.iter().zip(&off_requests) {
+        let watched = &on.get(on_req).sanitizer;
+        let blind = &off.get(off_req).sanitizer;
+        assert_eq!(watched.mode, SanitizerMode::Check);
+        assert_eq!(blind.mode, SanitizerMode::Off);
+        assert_eq!(blind.checked_persists + blind.checked_node_updates, 0);
+        assert!(watched.is_clean(), "correct engine flagged: {on_req:?}");
+        checked += watched.checked_persists;
+    }
+    assert!(checked > 0, "sanitizer-on matrix never checked a persist");
+
+    // Re-key every off-mode report under the corresponding on-mode
+    // request, so the specs (which build on-mode configs) render from
+    // sanitizer-off data. The artefacts must not move by one byte.
+    for (on_req, off_req) in on_requests.iter().zip(&off_requests) {
+        let report = off.get(off_req).clone();
+        off.insert(on_req, report);
+    }
+    for id in spec_ids {
+        let spec = specs::find(id).expect("registered");
+        assert_eq!(
+            spec.output(&on, s),
+            spec.output(&off, s),
+            "{id}: sanitizer mode leaked into the rendered artefact"
+        );
+    }
+}

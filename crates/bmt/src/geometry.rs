@@ -37,10 +37,12 @@ impl BmtGeometry {
         assert!(arity >= 2, "tree arity must be at least 2");
         assert!(levels >= 1, "tree must have at least one level");
         // The total node count must fit comfortably in u64.
+        // lint: allow(no-panic-lib) documented constructor validation of a static configuration
         let leaves = arity.checked_pow(levels - 1).expect("tree too large");
         leaves
             .checked_mul(arity)
             .and_then(|x| x.checked_div(arity - 1))
+            // lint: allow(no-panic-lib) documented constructor validation of a static configuration
             .expect("tree too large");
         BmtGeometry { arity, levels }
     }
@@ -80,6 +82,20 @@ impl BmtGeometry {
     /// [`BmtGeometry::levels`]).
     pub fn levels(&self) -> u32 {
         self.levels
+    }
+
+    /// [`BmtGeometry::levels`] as a container length.
+    pub fn levels_usize(&self) -> usize {
+        // lint: allow(narrowing-cast) u32 to usize is lossless on every supported (>=32-bit) target
+        self.levels as usize
+    }
+
+    /// [`BmtGeometry::arity`] as a container length. Arities large
+    /// enough to truncate on a 32-bit target are rejected by
+    /// [`BmtGeometry::new`]'s node-count overflow check long before.
+    pub fn arity_usize(&self) -> usize {
+        // lint: allow(narrowing-cast) arity is validated small by the constructor
+        self.arity as usize
     }
 
     /// Number of leaf nodes.

@@ -81,6 +81,13 @@ impl BmtGeometry {
         level
     }
 
+    /// The 0-based level of `node` as a container index
+    /// ([`BmtGeometry::level`]` - 1`).
+    pub fn level_index(&self, node: NodeLabel) -> usize {
+        // lint: allow(narrowing-cast) u32 to usize is lossless on every supported (>=32-bit) target
+        (self.level(node) - 1) as usize
+    }
+
     /// The leaf label covering page `page_index`.
     ///
     /// # Panics
@@ -111,7 +118,7 @@ impl BmtGeometry {
     /// The update path from `leaf` to the root, inclusive, ordered
     /// leaf-first (the order persists walk the tree in).
     pub fn update_path(&self, leaf: NodeLabel) -> Vec<NodeLabel> {
-        let mut path = Vec::with_capacity(self.levels() as usize);
+        let mut path = Vec::with_capacity(self.levels_usize());
         let mut node = leaf;
         path.push(node);
         while let Some(p) = self.parent(node) {
@@ -136,19 +143,30 @@ impl BmtGeometry {
     /// The least common ancestor of two nodes (§IV-B2: the coalescing
     /// point of two persists). The LCA of a node with itself is itself.
     pub fn lca(&self, a: NodeLabel, b: NodeLabel) -> NodeLabel {
+        // Total by construction: the deeper node always has a parent
+        // (its level exceeds the other's, so it is not the root), and
+        // the lock-step walk meets at the root at the latest.
         let (mut a, mut b) = (a, b);
         let (mut la, mut lb) = (self.level(a), self.level(b));
         while la > lb {
-            a = self.parent(a).expect("non-root has parent");
+            match self.parent(a) {
+                Some(p) => a = p,
+                None => return NodeLabel::ROOT,
+            }
             la -= 1;
         }
         while lb > la {
-            b = self.parent(b).expect("non-root has parent");
+            match self.parent(b) {
+                Some(p) => b = p,
+                None => return NodeLabel::ROOT,
+            }
             lb -= 1;
         }
         while a != b {
-            a = self.parent(a).expect("lock-step walk reaches root");
-            b = self.parent(b).expect("lock-step walk reaches root");
+            match (self.parent(a), self.parent(b)) {
+                (Some(pa), Some(pb)) => (a, b) = (pa, pb),
+                _ => return NodeLabel::ROOT,
+            }
         }
         a
     }

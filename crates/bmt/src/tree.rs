@@ -52,13 +52,13 @@ impl BonsaiTree {
     /// Creates the all-fresh tree (every page's counter block new).
     pub fn new(geometry: BmtGeometry, master_key: SipKey) -> Self {
         let key = master_key.derive("bmt");
-        let mut defaults = vec![0; geometry.levels() as usize];
+        let levels = geometry.levels_usize();
+        let mut defaults = vec![0; levels];
         let fresh = CounterBlock::new();
-        defaults[geometry.levels() as usize - 1] = Self::leaf_value_with(key, &fresh);
-        for level in (1..geometry.levels()).rev() {
-            let child_default = defaults[level as usize];
-            let children = vec![child_default; geometry.arity() as usize];
-            defaults[level as usize - 1] = Self::internal_value_with(key, &children);
+        defaults[levels - 1] = Self::leaf_value_with(key, &fresh);
+        for level in (1..levels).rev() {
+            let children = vec![defaults[level]; geometry.arity_usize()];
+            defaults[level - 1] = Self::internal_value_with(key, &children);
         }
         BonsaiTree {
             geometry,
@@ -98,7 +98,7 @@ impl BonsaiTree {
         if let Some(&v) = self.nodes.get(&label) {
             return v;
         }
-        self.defaults[self.geometry.level(label) as usize - 1]
+        self.defaults[self.geometry.level_index(label)]
     }
 
     /// Number of explicitly stored (non-default) nodes.
@@ -138,7 +138,7 @@ impl BonsaiTree {
     /// Panics if `page` is outside the tree's coverage.
     pub fn update_leaf(&mut self, page: u64, cb: &CounterBlock) -> Vec<(NodeLabel, NodeValue)> {
         let leaf = self.geometry.leaf(page);
-        let mut path = Vec::with_capacity(self.geometry.levels() as usize);
+        let mut path = Vec::with_capacity(self.geometry.levels_usize());
         let leaf_val = self.leaf_value(cb);
         self.nodes.insert(leaf, leaf_val);
         path.push((leaf, leaf_val));

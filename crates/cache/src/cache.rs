@@ -160,13 +160,18 @@ impl Cache {
             line.stamp = tick;
             return None;
         }
-        let victim = if set.len() >= ways {
-            // Evict the line with the smallest stamp (LRU or FIFO-oldest).
-            let (i, _) = set
-                .iter()
+        // Evict the line with the smallest stamp (LRU or FIFO-oldest).
+        // `min_by_key` is only `None` for an empty set, which cannot be
+        // at capacity (ways >= 1), so the victim lookup stays total.
+        let victim_idx = if set.len() >= ways {
+            set.iter()
                 .enumerate()
                 .min_by_key(|(_, l)| l.stamp)
-                .expect("non-empty full set");
+                .map(|(i, _)| i)
+        } else {
+            None
+        };
+        let victim = if let Some(i) = victim_idx {
             let v = set.swap_remove(i);
             self.stats.evictions += 1;
             if v.dirty {

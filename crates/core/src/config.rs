@@ -6,6 +6,7 @@ use plp_events::Cycle;
 use plp_nvm::NvmConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::sanitizer::SanitizerMode;
 use crate::ConfigError;
 
 /// Which BMT update mechanism the security engine uses — the six
@@ -119,6 +120,11 @@ impl UpdateScheme {
         }
     }
 
+    /// Parses a [`UpdateScheme::name`] rendering.
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::all_extended().into_iter().find(|s| s.name() == name)
+    }
+
     /// Whether the scheme persists stores through epochs (epoch
     /// persistency) rather than one by one (strict persistency).
     pub fn is_epoch_based(self) -> bool {
@@ -196,6 +202,11 @@ pub struct SystemConfig {
     /// Keep full per-persist records for crash-recovery analysis
     /// (memory-heavy; enable for tests, disable for long sweeps).
     pub record_persists: bool,
+    /// Invariant sanitizer mode (default: on). The shadow verifier
+    /// checks Invariants 1 and 2 plus WAW safety on every persist
+    /// event; it observes timing without ever changing it, so turning
+    /// it off alters only wall-clock cost, never results.
+    pub sanitizer: SanitizerMode,
 }
 
 impl Default for SystemConfig {
@@ -216,6 +227,7 @@ impl Default for SystemConfig {
             nvm: NvmConfig::paper_default(),
             key: SipKey::new(0x504c505f4b455930, 0x504c505f4b455931),
             record_persists: false,
+            sanitizer: SanitizerMode::default(),
         }
     }
 }
@@ -270,6 +282,7 @@ mod tests {
         assert_eq!(c.llc_bytes, 4 << 20);
         assert_eq!(c.metadata_cache_bytes, 128 << 10);
         assert_eq!(c.bmt.levels(), 9);
+        assert_eq!(c.sanitizer, SanitizerMode::Check, "sanitizer defaults on");
         assert!(c.validate().is_ok());
     }
 

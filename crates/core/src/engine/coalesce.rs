@@ -3,7 +3,7 @@
 use plp_bmt::NodeLabel;
 use plp_events::Cycle;
 
-use super::{EngineCtx, OooEngine, UpdateRequest};
+use super::{level_slot, EngineCtx, OooEngine, UpdateRequest};
 
 /// The chained-handoff persist awaiting its shared-suffix walk.
 #[derive(Debug, Clone, Copy)]
@@ -74,7 +74,7 @@ impl CoalescingEngine {
         let path = ctx.geometry.update_path(carrier.leaf);
         // path is leaf-first: index i holds the node at level L - i.
         for level in (to_level..=carrier.suffix_from).rev() {
-            let node = path[(self.levels - level) as usize];
+            let node = path[level_slot(self.levels - level)];
             let gate = if level == to_level { t.max(extra_gate) } else { t };
             t = self.inner.update_node(node, gate, ctx);
         }
@@ -116,7 +116,7 @@ impl CoalescingEngine {
         // This persist walks its own nodes strictly below the LCA.
         let mut own_done = now;
         let path = ctx.geometry.update_path(req.leaf);
-        for node in &path[..(self.levels - lca_level) as usize] {
+        for node in &path[..level_slot(self.levels - lca_level)] {
             own_done = self.inner.update_node(*node, own_done, ctx);
         }
         // The carrier commits down to the LCA, whose update must also

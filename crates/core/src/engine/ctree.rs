@@ -44,7 +44,7 @@ impl CounterTreeEngine {
         let mut path_durable = t;
         for label in ctx.geometry.update_path(req.leaf) {
             t = ctx.node_ready(label, t) + self.mac_latency;
-            ctx.stats.node_updates += 1;
+            ctx.note_update(label, t);
             // Every node on the path must persist (shadow-copy writes
             // in a real design; modelled as posted NVM writes whose
             // completion gates the persist).

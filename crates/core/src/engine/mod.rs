@@ -18,6 +18,7 @@
 
 mod coalesce;
 mod ctree;
+mod mutant;
 mod ooo;
 mod pipeline;
 mod sequential;
@@ -25,6 +26,7 @@ mod unordered;
 
 pub use coalesce::CoalescingEngine;
 pub use ctree::CounterTreeEngine;
+pub use mutant::{Mutation, MutantEngine};
 pub use ooo::OooEngine;
 pub use pipeline::PipelinedEngine;
 pub use sequential::SequentialEngine;
@@ -36,6 +38,7 @@ use plp_nvm::NvmDevice;
 use serde::{Deserialize, Serialize};
 
 use crate::meta::{bmt_node_block_addr, MetadataCaches};
+use crate::sanitizer::NodeUpdateEvent;
 use crate::{SystemConfig, UpdateScheme};
 
 /// Counters reported by the engines.
@@ -49,8 +52,16 @@ pub struct EngineStats {
     pub persists: u64,
 }
 
+/// A u32 level count/number as a container index — the engines size
+/// and index their per-level tables with tree levels.
+pub(crate) fn level_slot(v: u32) -> usize {
+    // lint: allow(narrowing-cast) u32 to usize is lossless on every supported (>=32-bit) target
+    v as usize
+}
+
 /// Mutable context an engine needs while scheduling: the BMT cache,
-/// the NVM device (for miss fetches) and statistics.
+/// the NVM device (for miss fetches), statistics and (when the
+/// invariant sanitizer is on) the node-update event tap.
 pub struct EngineCtx<'a> {
     /// Tree shape.
     pub geometry: BmtGeometry,
@@ -62,9 +73,29 @@ pub struct EngineCtx<'a> {
     pub nvm: &'a mut NvmDevice,
     /// Engine statistics.
     pub stats: &'a mut EngineStats,
+    /// Sanitizer event tap: when present, every node update the engine
+    /// schedules is recorded for shadow verification (see
+    /// [`crate::sanitizer`]). `None` when the sanitizer is off — the
+    /// tap then costs one branch per update.
+    pub tap: Option<&'a mut Vec<NodeUpdateEvent>>,
 }
 
 impl EngineCtx<'_> {
+    /// Records one scheduled BMT node update completing at `done`:
+    /// bumps the statistics counter and, when the sanitizer is
+    /// listening, pushes the event onto the tap. Every engine reports
+    /// each node update through this single point.
+    pub fn note_update(&mut self, label: NodeLabel, done: Cycle) {
+        self.stats.node_updates += 1;
+        if let Some(tap) = self.tap.as_deref_mut() {
+            tap.push(NodeUpdateEvent {
+                label,
+                level: self.geometry.level(label),
+                done,
+            });
+        }
+    }
+
     /// When node `label` is available on chip for an update requested
     /// at `at`: immediately for the root (an on-chip register) and BMT
     /// cache hits; after an NVM fetch plus integrity verification on a
@@ -233,6 +264,7 @@ pub(crate) mod testutil {
         pub meta: MetadataCaches,
         pub nvm: NvmDevice,
         pub stats: EngineStats,
+        pub tap: Vec<NodeUpdateEvent>,
     }
 
     impl CtxHarness {
@@ -245,6 +277,7 @@ pub(crate) mod testutil {
                 meta: MetadataCaches::new(32 << 10, true),
                 nvm: NvmDevice::new(NvmConfig::paper_default()),
                 stats: EngineStats::default(),
+                tap: Vec::new(),
             }
         }
 
@@ -262,6 +295,20 @@ pub(crate) mod testutil {
                 meta: &mut self.meta,
                 nvm: &mut self.nvm,
                 stats: &mut self.stats,
+                tap: None,
+            }
+        }
+
+        /// Like [`CtxHarness::ctx`] but with the sanitizer tap
+        /// attached, recording every node update into `self.tap`.
+        pub fn tapped_ctx(&mut self) -> EngineCtx<'_> {
+            EngineCtx {
+                geometry: self.geometry,
+                mac_latency: self.mac,
+                meta: &mut self.meta,
+                nvm: &mut self.nvm,
+                stats: &mut self.stats,
+                tap: Some(&mut self.tap),
             }
         }
 
@@ -271,5 +318,24 @@ pub(crate) mod testutil {
                 now: Cycle::new(now),
             }
         }
+    }
+
+    #[test]
+    fn note_update_feeds_stats_and_tap() {
+        let mut h = CtxHarness::ideal();
+        let mut e = SequentialEngine::new(h.mac);
+        let req = h.req(0, 0);
+        let _ = e.persist(req, &mut h.tapped_ctx());
+        assert_eq!(h.stats.node_updates, 4);
+        assert_eq!(h.tap.len(), 4);
+        // Events arrive leaf-first with monotone completions.
+        assert_eq!(h.tap[0].level, 4);
+        assert_eq!(h.tap[3].level, 1);
+        assert!(h.tap.windows(2).all(|w| w[0].done <= w[1].done));
+        // Without the tap, only the counter moves.
+        let req = h.req(1, 0);
+        let _ = e.persist(req, &mut h.ctx());
+        assert_eq!(h.stats.node_updates, 8);
+        assert_eq!(h.tap.len(), 4);
     }
 }

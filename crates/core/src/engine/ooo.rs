@@ -3,7 +3,7 @@
 
 use plp_events::Cycle;
 
-use super::{EngineCtx, UpdateRequest};
+use super::{level_slot, EngineCtx, UpdateRequest};
 
 /// The ETT/PTT engine of §V-B: persists of the *same* epoch update the
 /// tree out of order through fully pipelined MAC units (§IV-B1 proves
@@ -42,8 +42,8 @@ impl OooEngine {
         assert!(ett_entries > 0, "ETT needs at least one entry");
         OooEngine {
             mac_latency,
-            prev_epoch_level_done: vec![Cycle::ZERO; levels as usize],
-            cur_epoch_level_max: vec![Cycle::ZERO; levels as usize],
+            prev_epoch_level_done: vec![Cycle::ZERO; level_slot(levels)],
+            cur_epoch_level_max: vec![Cycle::ZERO; level_slot(levels)],
             epoch_completions: Vec::new(),
             epoch_floor: Cycle::ZERO,
             ett_entries,
@@ -68,12 +68,12 @@ impl OooEngine {
         at: Cycle,
         ctx: &mut EngineCtx<'_>,
     ) -> Cycle {
-        let level = ctx.geometry.level(label) as usize;
-        let gate = at.max(self.prev_epoch_level_done[level - 1]);
+        let slot = ctx.geometry.level_index(label);
+        let gate = at.max(self.prev_epoch_level_done[slot]);
         let ready = ctx.node_ready(label, gate);
         let done = ready + self.mac_latency;
-        ctx.stats.node_updates += 1;
-        self.cur_epoch_level_max[level - 1] = self.cur_epoch_level_max[level - 1].max(done);
+        ctx.note_update(label, done);
+        self.cur_epoch_level_max[slot] = self.cur_epoch_level_max[slot].max(done);
         done
     }
 

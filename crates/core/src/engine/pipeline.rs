@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 
 use plp_events::Cycle;
 
-use super::{EngineCtx, UpdateRequest};
+use super::{level_slot, EngineCtx, UpdateRequest};
 
 /// The PTT-scheduled pipeline of §V-A: a younger persist may update a
 /// BMT level only after the older persist has completed its update of
@@ -39,7 +39,7 @@ impl PipelinedEngine {
         assert!(ptt_entries > 0, "PTT needs at least one entry");
         PipelinedEngine {
             mac_latency,
-            level_free: vec![Cycle::ZERO; levels as usize],
+            level_free: vec![Cycle::ZERO; level_slot(levels)],
             inflight: VecDeque::new(),
             ptt_entries,
         }
@@ -52,10 +52,10 @@ impl PipelinedEngine {
         if self.inflight.len() < self.ptt_entries {
             now
         } else {
-            self.inflight
-                .pop_front()
-                .expect("full PTT is non-empty")
-                .max(now)
+            // Full: wait for the oldest in-flight persist to leave.
+            // The constructor guarantees capacity >= 1, so a full PTT
+            // is never empty; the fallback keeps this total anyway.
+            self.inflight.pop_front().unwrap_or(now).max(now)
         }
     }
 
@@ -64,14 +64,14 @@ impl PipelinedEngine {
     pub fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
         let mut t = self.ptt_admission(req.now);
         for label in ctx.geometry.update_path(req.leaf) {
-            let level = ctx.geometry.level(label) as usize;
+            let slot = ctx.geometry.level_index(label);
             // Stage entry: after our previous stage and after the older
             // persist has left this level (in-order guarantee).
-            let gate = t.max(self.level_free[level - 1]);
+            let gate = t.max(self.level_free[slot]);
             let start = ctx.node_ready(label, gate);
             let done = start + self.mac_latency;
-            self.level_free[level - 1] = done;
-            ctx.stats.node_updates += 1;
+            self.level_free[slot] = done;
+            ctx.note_update(label, done);
             t = done;
         }
         self.inflight.push_back(t);

@@ -32,7 +32,7 @@ impl SequentialEngine {
         let mut t = req.now.max(self.busy_until);
         for label in ctx.geometry.update_path(req.leaf) {
             t = ctx.node_ready(label, t) + self.mac_latency;
-            ctx.stats.node_updates += 1;
+            ctx.note_update(label, t);
         }
         self.busy_until = t;
         t

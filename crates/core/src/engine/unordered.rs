@@ -38,7 +38,7 @@ impl UnorderedEngine {
         let mut t = req.now;
         for label in ctx.geometry.update_path(req.leaf) {
             t = ctx.node_ready(label, t) + self.mac_latency;
-            ctx.stats.node_updates += 1;
+            ctx.note_update(label, t);
         }
         self.drained = self.drained.max(t);
         t

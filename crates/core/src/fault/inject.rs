@@ -68,7 +68,7 @@ impl FaultInjector {
         ];
         // Random rotation so one exhausted component does not starve
         // the others, while every component still gets tried.
-        let start = splitmix_below(&mut self.rng, components.len() as u64) as usize;
+        let start = pick_index(&mut self.rng, components.len());
         components.rotate_left(start);
         for component in components {
             let spec = match component {
@@ -111,10 +111,12 @@ impl FaultInjector {
         if addrs.is_empty() {
             return None;
         }
-        let start = splitmix_below(&mut self.rng, addrs.len() as u64) as usize;
+        let start = pick_index(&mut self.rng, addrs.len());
         for k in 0..addrs.len() {
             let addr = addrs[(start + k) % addrs.len()];
-            let new = *image.data.get(&addr).expect("key just listed");
+            let Some(&new) = image.data.get(&addr) else {
+                continue;
+            };
             let old = prior_data(records, addr, t);
             let (mixed, mask) =
                 match self.mix_words(&old.as_bytes()[..], &new.as_bytes()[..], DATA_WORDS) {
@@ -144,10 +146,12 @@ impl FaultInjector {
         if pages.is_empty() {
             return None;
         }
-        let start = splitmix_below(&mut self.rng, pages.len() as u64) as usize;
+        let start = pick_index(&mut self.rng, pages.len());
         for k in 0..pages.len() {
             let page = pages[(start + k) % pages.len()];
-            let new = image.counters.get(&page).expect("key just listed").clone();
+            let Some(new) = image.counters.get(&page).cloned() else {
+                continue;
+            };
             let old = prior_counter(records, page, t);
             let (mixed, mask) =
                 match self.mix_words(&old.to_bytes()[..], &new.to_bytes()[..], COUNTER_WORDS) {
@@ -157,8 +161,11 @@ impl FaultInjector {
             let mut bytes = [0u8; 72];
             bytes.copy_from_slice(&mixed);
             // Word-granular mixing of two valid wires keeps every minor
-            // byte from a valid wire, so the result always decodes.
-            let torn = CounterBlock::from_bytes(&bytes).expect("mixed valid wires stay valid");
+            // byte from a valid wire, so the result always decodes; a
+            // decode failure would mean no injectable fault, not a crash.
+            let Ok(torn) = CounterBlock::from_bytes(&bytes) else {
+                continue;
+            };
             image.counters.insert(page, torn);
             return Some(FaultSpec::TornWrite {
                 component: TupleComponent::Counter,
@@ -180,11 +187,14 @@ impl FaultInjector {
         if addrs.is_empty() {
             return None;
         }
-        let start = splitmix_below(&mut self.rng, addrs.len() as u64) as usize;
+        let start = pick_index(&mut self.rng, addrs.len());
         for k in 0..addrs.len() {
             let victim = addrs[(start + k) % addrs.len()];
             let old = prior_mac(records, victim, t);
-            if old == *image.macs.get(&victim).expect("key just listed") {
+            let Some(&current) = image.macs.get(&victim) else {
+                continue;
+            };
+            if old == current {
                 continue; // tag unchanged; tearing is a no-op
             }
             // The victim's tag shares a 64-byte MAC line with 7
@@ -227,14 +237,14 @@ impl FaultInjector {
         if differing.is_empty() {
             return None;
         }
-        let forced = differing[splitmix_below(&mut self.rng, differing.len() as u64) as usize];
+        let forced = differing[pick_index(&mut self.rng, differing.len())];
         let mut mask: u16 = 1 << forced;
         for w in 0..words {
             if w != forced && splitmix_next(&mut self.rng) & 1 == 1 {
                 mask |= 1 << w;
             }
         }
-        if mask.count_ones() as usize == words {
+        if u64::from(mask.count_ones()) == words as u64 {
             // Fully-old is a dropped line, not a torn one: keep one new
             // word if any word can stay new without undoing the fault.
             if let Some(keep_new) = (0..words).find(|w| *w != forced) {
@@ -269,7 +279,7 @@ impl FaultInjector {
             candidates.push(TupleComponent::Mac);
         }
         candidates.push(TupleComponent::Root);
-        let component = candidates[splitmix_below(&mut self.rng, candidates.len() as u64) as usize];
+        let component = candidates[pick_index(&mut self.rng, candidates.len())];
         self.bit_flip_component(image, component)
     }
 
@@ -286,9 +296,9 @@ impl FaultInjector {
                 let mut addrs: Vec<BlockAddr> = image.data.keys().copied().collect();
                 addrs.sort();
                 let addr = *addrs.get(splitmix_below_opt(&mut self.rng, addrs.len())?)?;
-                let bit = splitmix_below(&mut self.rng, (CACHE_BLOCK_SIZE * 8) as u64) as u32;
-                let mut bytes = *image.data.get(&addr).expect("key just listed").as_bytes();
-                bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+                let bit = pick_bit(&mut self.rng, (CACHE_BLOCK_SIZE * 8) as u64);
+                let mut bytes = *image.data.get(&addr)?.as_bytes();
+                bytes[byte_slot(bit)] ^= 1 << (bit % 8);
                 image.data.insert(addr, DataBlock::from_bytes(bytes));
                 Some(FaultSpec::BitFlip {
                     component,
@@ -300,8 +310,8 @@ impl FaultInjector {
                 let mut addrs: Vec<BlockAddr> = image.macs.keys().copied().collect();
                 addrs.sort();
                 let addr = *addrs.get(splitmix_below_opt(&mut self.rng, addrs.len())?)?;
-                let bit = splitmix_below(&mut self.rng, 64) as u32;
-                let raw = image.macs.get(&addr).expect("key just listed").raw();
+                let bit = pick_bit(&mut self.rng, 64);
+                let raw = image.macs.get(&addr)?.raw();
                 image.macs.insert(addr, MacTag::from_raw(raw ^ (1 << bit)));
                 Some(FaultSpec::BitFlip {
                     component,
@@ -314,26 +324,28 @@ impl FaultInjector {
                 pages.sort_unstable();
                 let page = *pages.get(splitmix_below_opt(&mut self.rng, pages.len())?)?;
                 // Bit space: 64 major bits then 7 valid bits per minor.
-                let pick = splitmix_below(&mut self.rng, 64 + 64 * 7);
-                let mut bytes = image.counters.get(&page).expect("key just listed").to_bytes();
+                let pick = pick_bit(&mut self.rng, 64 + 64 * 7);
+                let mut bytes = image.counters.get(&page)?.to_bytes();
                 if pick < 64 {
-                    bytes[(pick / 8) as usize] ^= 1 << (pick % 8);
+                    bytes[byte_slot(pick)] ^= 1 << (pick % 8);
                 } else {
-                    let minor = ((pick - 64) / 7) as usize;
+                    let minor = usize::try_from((pick - 64) / 7).unwrap_or(0);
                     let bit = (pick - 64) % 7;
                     bytes[8 + minor] ^= 1 << bit;
                 }
-                let flipped =
-                    CounterBlock::from_bytes(&bytes).expect("low-7-bit minor flips stay valid");
+                // Flips stay inside the encodable bit space (major word
+                // or a minor's low 7 bits), so the block still decodes.
+                // lint: allow(no-panic-lib) flip targets only valid counter bits by construction
+                let flipped = CounterBlock::from_bytes(&bytes).expect("valid flips decode");
                 image.counters.insert(page, flipped);
                 Some(FaultSpec::BitFlip {
                     component,
                     addr: plp_events::addr::PageAddr::new(page).first_block(),
-                    bit: pick as u32,
+                    bit: pick,
                 })
             }
             TupleComponent::Root => {
-                let bit = splitmix_below(&mut self.rng, 64) as u32;
+                let bit = pick_bit(&mut self.rng, 64);
                 image.root ^= 1 << bit;
                 Some(FaultSpec::BitFlip {
                     component,
@@ -375,8 +387,26 @@ fn splitmix_below_opt(state: &mut u64, bound: usize) -> Option<usize> {
     if bound == 0 {
         None
     } else {
-        Some(splitmix_below(state, bound as u64) as usize)
+        Some(pick_index(state, bound))
     }
+}
+
+/// A uniformly-chosen index below `len`; callers guarantee `len > 0`.
+fn pick_index(state: &mut u64, len: usize) -> usize {
+    // lint: allow(narrowing-cast) the draw is below len, which itself fits in a usize
+    splitmix_below(state, len as u64) as usize
+}
+
+/// A uniformly-chosen bit position below `bound` (at most a few
+/// hundred), as the `u32` a [`FaultSpec`] carries.
+fn pick_bit(state: &mut u64, bound: u64) -> u32 {
+    u32::try_from(splitmix_below(state, bound)).unwrap_or(0)
+}
+
+/// Byte index holding bit `bit` of a packed little-endian buffer.
+fn byte_slot(bit: u32) -> usize {
+    // lint: allow(narrowing-cast) u32 to usize is lossless on every supported (>=32-bit) target
+    (bit / 8) as usize
 }
 
 /// The durable content a component held *before* its most recent write

@@ -46,7 +46,8 @@ pub fn enumerate_crash_points(records: &[PersistRecord], budget: usize, seed: u6
     for k in 1..budget.saturating_sub(1) {
         let lo = k * n / budget;
         let hi = ((k + 1) * n / budget).max(lo + 1).min(n);
-        let idx = lo + splitmix_below(&mut rng, (hi - lo) as u64) as usize;
+        let pick = splitmix_below(&mut rng, (hi - lo) as u64);
+        let idx = lo + usize::try_from(pick).unwrap_or(0);
         sampled.push(points[idx]);
     }
     sampled.push(points[n - 1]);

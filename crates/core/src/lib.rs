@@ -45,6 +45,7 @@ pub mod fault;
 pub mod meta;
 mod recovery;
 mod report;
+pub mod sanitizer;
 pub mod sgx;
 mod system;
 mod tuple;
@@ -61,6 +62,9 @@ pub use recovery::{
     RecoveryChecker, RecoveryCost, RecoveryReport, TupleComponent,
 };
 pub use report::RunReport;
+pub use sanitizer::{
+    Sanitizer, SanitizerMode, SanitizerSummary, SchemeContract, Violation, ViolationKind,
+};
 pub use system::{run_benchmark, run_trace, run_with_crash, FinishedSim, SimSetup, Simulation};
 pub use tuple::{EpochId, PersistId, PersistRecord, TupleTimes};
 pub use wpq::{Wpq, WpqEntry};

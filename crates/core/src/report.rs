@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::EngineStats;
 use crate::meta::MetadataStats;
+use crate::sanitizer::SanitizerSummary;
 use crate::PersistRecord;
 
 /// Everything a simulation run measured.
@@ -42,6 +43,9 @@ pub struct RunReport {
     pub data_caches: [CacheStats; 3],
     /// NVM device statistics.
     pub nvm: NvmStats,
+    /// Invariant sanitizer verdict (mode, checked-event counts and any
+    /// violations; see [`crate::sanitizer`]).
+    pub sanitizer: SanitizerSummary,
     /// Per-persist records (only when
     /// [`crate::SystemConfig::record_persists`] is set).
     pub records: Vec<PersistRecord>,

@@ -22,6 +22,7 @@ use plp_trace::{Op, Trace, WorkloadProfile};
 use crate::engine::{EngineCtx, EngineStats, UpdateEngine, UpdateRequest};
 use crate::meta::{counter_block_addr, mac_block_addr, MetadataCaches};
 use crate::recovery::{ObserverExpectation, PersistImage};
+use crate::sanitizer::{NodeUpdateEvent, PersistEvent, Sanitizer, SanitizerSummary};
 use crate::wpq::Wpq;
 use crate::{
     EpochId, PersistId, PersistRecord, ProtectionScope, RunReport, SystemConfig, TupleTimes,
@@ -138,6 +139,7 @@ impl SimSetup {
         let profile = self
             .profile
             .as_ref()
+            // lint: allow(no-panic-lib) documented panic contract for profile-less setups
             .expect("SimSetup::generate_trace needs a profile-bound setup");
         plp_trace::TraceGenerator::new(profile.clone(), self.seed).generate(instructions)
     }
@@ -147,7 +149,14 @@ impl SimSetup {
     pub fn simulation(&self) -> Simulation {
         let config = self.config.clone();
         let engine = crate::engine::for_config(&config);
+        let sanitizer = if config.sanitizer.is_on() {
+            Some(Sanitizer::new(config.scheme, config.bmt))
+        } else {
+            None
+        };
         Simulation {
+            sanitizer,
+            node_tap: Vec::new(),
             hierarchy: Hierarchy::paper_default(config.llc_bytes),
             meta: MetadataCaches::new(config.metadata_cache_bytes, config.ideal_metadata),
             engine,
@@ -251,6 +260,11 @@ pub struct Simulation {
     /// under strict persistency.
     last_ordered_release: Cycle,
     records: Vec<PersistRecord>,
+    /// The shadow verifier, when [`SystemConfig::sanitizer`] is on.
+    sanitizer: Option<Sanitizer>,
+    /// Scratch buffer the engine tap fills per engine call; drained
+    /// into the sanitizer and reused to avoid per-persist allocation.
+    node_tap: Vec<NodeUpdateEvent>,
 }
 
 /// A consumed simulation, returned by [`Simulation::run_with_state`]:
@@ -304,14 +318,28 @@ impl Simulation {
         } else {
             self.config.mac_latency
         };
+        let tap = match &self.sanitizer {
+            Some(s) if s.wants_node_events() => Some(&mut self.node_tap),
+            _ => None,
+        };
         let mut ctx = EngineCtx {
             geometry: self.config.bmt,
             mac_latency,
             meta: &mut self.meta,
             nvm: &mut self.nvm,
             stats: &mut self.engine_stats,
+            tap,
         };
         f(self.engine.as_mut(), &mut ctx)
+    }
+
+    /// Replaces the scheme's engine with `engine` — the mutation-test
+    /// hook. The sanitizer (and everything else) is oblivious to the
+    /// swap, which is the point: a seeded ordering bug must be caught
+    /// from observed events alone. The replacement must target the same
+    /// tree depth as the configuration.
+    pub fn override_engine(&mut self, engine: Box<dyn UpdateEngine>) {
+        self.engine = engine;
     }
 
     /// The persist path: the full security transformation + BMT update
@@ -389,6 +417,12 @@ impl Simulation {
                 ctx,
             )
         });
+        // Shadow-verify the walk the engine just scheduled (Invariant 2
+        // per level, or the epoch/WAW contract), then recycle the tap.
+        if let Some(san) = self.sanitizer.as_mut() {
+            san.observe_walk(PersistId(self.store_seq), self.epoch, &self.node_tap);
+            self.node_tap.clear();
+        }
 
         // Step 2 of 2SP: tuple complete; release to NVMM. Under strict
         // persistency the WPQ deallocates entries head-first, so a
@@ -458,21 +492,35 @@ impl Simulation {
             self.writebacks += 1;
         }
 
+        let times = match self.config.scheme {
+            // Write-through without root ordering: components drain
+            // as they arrive; the root lands whenever this persist's
+            // own walk finishes — Invariant 2 is not enforced.
+            UpdateScheme::Unordered => TupleTimes {
+                data: counter_ready,
+                counter: counter_ready,
+                mac: data_mac_done.max(mac_block_ready),
+                root: root_done,
+            },
+            // 2SP: the whole tuple is released atomically.
+            // (Epoch records are re-stamped at the epoch seal.)
+            UpdateScheme::SecureWb
+            | UpdateScheme::Sp
+            | UpdateScheme::Pipeline
+            | UpdateScheme::O3
+            | UpdateScheme::Coalescing
+            | UpdateScheme::SpCounterTree => TupleTimes::atomic(completion),
+        };
+        if let Some(san) = self.sanitizer.as_mut() {
+            san.observe_persist(&PersistEvent {
+                id: PersistId(self.store_seq),
+                epoch: self.epoch,
+                addr,
+                ordered,
+                times,
+            });
+        }
         if self.config.record_persists {
-            let times = match self.config.scheme {
-                // Write-through without root ordering: components drain
-                // as they arrive; the root lands whenever this persist's
-                // own walk finishes — Invariant 2 is not enforced.
-                UpdateScheme::Unordered => TupleTimes {
-                    data: counter_ready,
-                    counter: counter_ready,
-                    mac: data_mac_done.max(mac_block_ready),
-                    root: root_done,
-                },
-                // 2SP: the whole tuple is released atomically.
-                // (Epoch records are re-stamped at the epoch seal.)
-                _ => TupleTimes::atomic(completion),
-            };
             self.records.push(PersistRecord {
                 id: PersistId(self.store_seq),
                 epoch: self.epoch,
@@ -500,7 +548,17 @@ impl Simulation {
             stall = stall.max(admit);
             self.hierarchy.mark_clean(addr);
         }
-        if let Some(completion) = self.with_engine(|engine, ctx| engine.seal_epoch(ctx)) {
+        let sealed = self.with_engine(|engine, ctx| engine.seal_epoch(ctx));
+        if let Some(san) = self.sanitizer.as_mut() {
+            // Seal-time walks (a coalescing carrier's suffix commit)
+            // belong to the sealing epoch but to no single persist.
+            san.observe_epoch_tail(self.epoch, &self.node_tap);
+            self.node_tap.clear();
+            if let Some(completion) = sealed {
+                san.observe_seal(self.epoch, completion);
+            }
+        }
+        if let Some(completion) = sealed {
             self.last_completion = self.last_completion.max(completion);
             if self.config.record_persists {
                 for r in &mut self.records[self.epoch_record_start..] {
@@ -632,6 +690,10 @@ impl Simulation {
             metadata: self.meta.stats(),
             data_caches: [caches[0].stats(), caches[1].stats(), caches[2].stats()],
             nvm: self.nvm.stats(),
+            sanitizer: match self.sanitizer.take() {
+                Some(san) => san.finish(),
+                None => SanitizerSummary::off(),
+            },
             records: std::mem::take(&mut self.records),
         };
         (report, FinishedSim { sim: self })
@@ -677,6 +739,7 @@ pub fn run_benchmark(
 ) -> RunReport {
     match SimSetup::for_profile(config.clone(), profile, seed) {
         Ok(setup) => setup.run_generated(instructions),
+        // lint: allow(no-panic-lib) documented panic contract for invalid configurations
         Err(e) => panic!("invalid system configuration: {e}"),
     }
 }
@@ -708,6 +771,7 @@ pub fn run_with_crash(
     );
     let setup = match SimSetup::with_base_ipc(config.clone(), base_ipc) {
         Ok(setup) => setup,
+        // lint: allow(no-panic-lib) documented panic contract for invalid configurations
         Err(e) => panic!("invalid system configuration: {e}"),
     };
     let report = setup.run(trace);

@@ -82,11 +82,9 @@ impl Wpq {
         if self.inflight.len() < self.capacity {
             now
         } else {
-            let freed = self
-                .inflight
-                .pop_front()
-                .expect("full queue is non-empty")
-                .max(now);
+            // A full queue is never empty (capacity >= 1); the
+            // fallback keeps this total without a panic path.
+            let freed = self.inflight.pop_front().unwrap_or(now).max(now);
             self.stall_cycles += (freed - now).get();
             freed
         }

@@ -37,6 +37,7 @@ impl Harness {
             meta: &mut self.meta,
             nvm: &mut self.nvm,
             stats: &mut self.stats,
+            tap: None,
         }
     }
 }

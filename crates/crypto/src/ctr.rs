@@ -70,6 +70,7 @@ impl DataBlock {
 
     /// The first 8 bytes as a little-endian word.
     pub fn as_u64(&self) -> u64 {
+        // lint: allow(no-panic-lib) an 8-byte slice of a fixed-size array always converts
         u64::from_le_bytes(self.bytes[..8].try_into().expect("8 bytes"))
     }
 
@@ -77,6 +78,7 @@ impl DataBlock {
     pub fn words(&self) -> [u64; CACHE_BLOCK_SIZE / 8] {
         let mut words = [0u64; CACHE_BLOCK_SIZE / 8];
         for (i, chunk) in self.bytes.chunks_exact(8).enumerate() {
+            // lint: allow(no-panic-lib) chunks_exact(8) yields 8-byte chunks by definition
             words[i] = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
         }
         words

@@ -49,6 +49,7 @@ impl SipKey {
         let mut state = SipState::new(self);
         let mut chunks = data.chunks_exact(8);
         for chunk in &mut chunks {
+            // lint: allow(no-panic-lib) chunks_exact(8) yields 8-byte chunks by definition
             let m = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
             state.compress(m);
         }

@@ -181,6 +181,7 @@ impl NvmDevice {
     pub fn new(config: NvmConfig) -> Self {
         match Self::try_new(config) {
             Ok(device) => device,
+            // lint: allow(no-panic-lib) documented panic contract; try_new is the fallible path
             Err(e) => panic!("invalid NVM configuration: {e}"),
         }
     }

@@ -46,6 +46,7 @@ impl TraceStore {
     /// same trace).
     pub fn get(&self, profile: &WorkloadProfile, instructions: u64, seed: u64) -> Arc<Trace> {
         let key = (profile.name.clone(), instructions, seed);
+        // lint: allow(no-panic-lib) a poisoned lock means another thread already panicked
         if let Some(t) = self.traces.lock().unwrap().get(&key) {
             return Arc::clone(t);
         }
@@ -53,6 +54,7 @@ impl TraceStore {
         Arc::clone(
             self.traces
                 .lock()
+                // lint: allow(no-panic-lib) a poisoned lock means another thread already panicked
                 .unwrap()
                 .entry(key)
                 .or_insert(generated),
@@ -61,6 +63,7 @@ impl TraceStore {
 
     /// How many distinct traces the store holds.
     pub fn len(&self) -> usize {
+        // lint: allow(no-panic-lib) a poisoned lock means another thread already panicked
         self.traces.lock().unwrap().len()
     }
 

@@ -10,6 +10,12 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# Repo-wide custom lint pass: persist-math cast hygiene, no panics in
+# library code, exhaustive UpdateScheme matches, banned nondeterminism.
+# Writes the machine-readable report consumed by results/analysis.json
+# consumers; any violation fails the gate with a per-rule summary.
+cargo run -q -p plp-analyze --bin plp-lint -- --json results/analysis.json
+
 # Smoke: every experiment spec end-to-end at reduced instruction count,
 # uncached so it always exercises the simulator, parallel so it also
 # exercises the worker pool. Byte-determinism of the output against a

@@ -1,4 +1,4 @@
-//! The four workspace lint rules.
+//! The five workspace lint rules.
 //!
 //! Each rule is a pattern over the lexed [`SourceModel`] (comments and
 //! literals already blanked, test regions marked). Rules fire only
@@ -24,15 +24,21 @@ pub const SCHEME_MATCH_WILDCARD: RuleId = "scheme-match-wildcard";
 /// Simulation code must be deterministic: no wall clocks and no
 /// OS-seeded RNGs outside explicitly seeded constructors.
 pub const NONDETERMINISM: RuleId = "nondeterminism";
+/// Library retry loops must go through the shared `plp_core::retry`
+/// policy instead of hand-rolling attempt counting and backoff: a
+/// loop header that mentions retrying without mentioning a policy is
+/// a bare retry loop.
+pub const NO_BARE_RETRY_LOOP: RuleId = "no-bare-retry-loop";
 /// An allow directive without a reason.
 pub const ALLOW_REASON: RuleId = "allow-reason";
 
 /// All real rules, in reporting order ([`ALLOW_REASON`] is meta).
-pub const RULES: [RuleId; 4] = [
+pub const RULES: [RuleId; 5] = [
     NO_PANIC_LIB,
     NARROWING_CAST,
     SCHEME_MATCH_WILDCARD,
     NONDETERMINISM,
+    NO_BARE_RETRY_LOOP,
 ];
 
 /// One rule hit.
@@ -121,6 +127,9 @@ pub fn run(path: &str, model: &SourceModel, scope: FileScope) -> Vec<Finding> {
                 push(NONDETERMINISM, idx, pat);
             }
         }
+        if scope.library && is_bare_retry_loop(code) {
+            push(NO_BARE_RETRY_LOOP, idx, "bare retry loop");
+        }
 
         // Exhaustive-scheme-match tracking: once inside a `match` whose
         // scrutinee mentions a scheme, a `_ =>` arm at any depth above
@@ -152,6 +161,25 @@ fn brace_delta(code: &str) -> i64 {
 fn mentions_scheme(code: &str) -> bool {
     let after = &code[code.find("match ").unwrap_or(0)..];
     after.contains("scheme") || after.contains("UpdateScheme")
+}
+
+/// Whether a code line is a loop header that counts retries/backs off
+/// by hand. A loop header mentioning a policy (`RetryPolicy`, a
+/// `policy.…` bound) is the blessed pattern — the schedule comes from
+/// `plp_core::retry` — so it is exempt.
+fn is_bare_retry_loop(code: &str) -> bool {
+    let is_header = code.contains("while ")
+        || (code.contains("for ") && code.contains(" in "))
+        || code.trim_start().starts_with("loop");
+    if !is_header {
+        return false;
+    }
+    let lowered = code.to_lowercase();
+    let retries = ["retry", "retries", "attempt", "backoff"]
+        .iter()
+        .any(|w| lowered.contains(w));
+    // "olicy" covers both `policy.max_retries` and `RetryPolicy`.
+    retries && !lowered.contains("olicy")
 }
 
 /// The integer types an `as` cast may silently truncate to.
@@ -261,6 +289,40 @@ mod tests {
         assert_eq!(unwraps.len(), 2);
         assert!(unwraps[0].allowed);
         assert!(!unwraps[1].allowed);
+    }
+
+    #[test]
+    fn bare_retry_loops_are_flagged_policy_loops_are_not() {
+        let src = concat!(
+            "while failed && attempt < max_retries {\n",
+            "    attempt += 1;\n",
+            "}\n",
+            "for attempt in 0..=policy.max_retries {\n",
+            "    go(attempt);\n",
+            "}\n",
+            "let backoff = policy.delay_ns(token, attempt);\n",
+            "loop {\n",
+            "    next();\n",
+            "}\n",
+        );
+        let f = hits(src, LIB);
+        let bare: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == NO_BARE_RETRY_LOOP)
+            .collect();
+        assert_eq!(bare.len(), 1, "{bare:?}");
+        assert_eq!(bare[0].line, 1);
+    }
+
+    #[test]
+    fn retry_loops_outside_libraries_are_exempt() {
+        let scope = FileScope::classify("crates/bench/src/bin/all.rs");
+        let f = run(
+            "crates/bench/src/bin/all.rs",
+            &SourceModel::parse("while retries < 3 { retries += 1; }\n"),
+            scope,
+        );
+        assert!(f.iter().all(|f| f.rule != NO_BARE_RETRY_LOOP));
     }
 
     #[test]

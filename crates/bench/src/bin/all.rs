@@ -2,19 +2,45 @@
 //!
 //! Collects the run requests of every registered [`plp_bench::specs`]
 //! experiment, executes the union as one deduplicated matrix — in
-//! parallel and through the on-disk run cache by default — and prints
-//! each artefact exactly as its standalone binary would, separated by
-//! blank lines. Execution statistics go to stderr so stdout is
-//! byte-identical across serial, parallel and warm-cache runs.
+//! parallel, through the on-disk run cache, and under the run
+//! supervisor by default — and prints each artefact exactly as its
+//! standalone binary would, separated by blank lines. Execution
+//! statistics and the supervisor's degradation report go to stderr so
+//! stdout is byte-identical across serial, parallel, warm-cache and
+//! fully-recovered chaos runs.
+//!
+//! Chaos mode (`--chaos SEED`) injects a deterministic fault plan —
+//! worker panics, artificial stalls, cache truncation, bit-flips and
+//! IO errors — that the supervisor must absorb; `--chaos-hard N`
+//! additionally makes N runs unrecoverable to demonstrate graceful
+//! degradation (partial output, exit code 3).
+//!
+//! Exit codes: 0 clean (all faults, if any, recovered), 1 sanitizer
+//! violation, 2 usage, 3 degraded (some runs produced no report).
 //!
 //! Usage: `all [instructions] [seed] [--serial] [--threads N]
-//! [--no-cache]`
+//! [--no-cache] [--chaos SEED] [--chaos-hard N] [--watchdog-ms N]`
 
-use plp_bench::{all_specs, matrix, MatrixOptions, RunSettings};
+use std::time::Duration;
+
+use plp_bench::{all_specs, matrix, ChaosOptions, MatrixOptions, RunSettings, SupervisorOptions};
 
 fn usage() -> ! {
-    eprintln!("usage: all [instructions] [seed] [--serial] [--threads N] [--no-cache]");
+    eprintln!(
+        "usage: all [instructions] [seed] [--serial] [--threads N] [--no-cache] \
+         [--chaos SEED] [--chaos-hard N] [--watchdog-ms N]"
+    );
     std::process::exit(2);
+}
+
+/// Parses a chaos seed, accepting both decimal and `0x`-prefixed hex
+/// (the verify gate uses `--chaos 0xC0FFEE`).
+fn parse_seed(arg: &str) -> Option<u64> {
+    if let Some(hex) = arg.strip_prefix("0x").or_else(|| arg.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        arg.parse().ok()
+    }
 }
 
 fn main() {
@@ -24,6 +50,9 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut cached = true;
+    let mut chaos_seed: Option<u64> = None;
+    let mut chaos_hard = 0usize;
+    let mut watchdog_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -32,6 +61,18 @@ fn main() {
             "--no-cache" => cached = false,
             "--threads" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => threads = n,
+                _ => usage(),
+            },
+            "--chaos" => match args.next().as_deref().and_then(parse_seed) {
+                Some(seed) => chaos_seed = Some(seed),
+                None => usage(),
+            },
+            "--chaos-hard" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => chaos_hard = n,
+                None => usage(),
+            },
+            "--watchdog-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => watchdog_ms = Some(n),
                 _ => usage(),
             },
             _ => match (arg.parse::<u64>(), positionals) {
@@ -52,15 +93,42 @@ fn main() {
         threads,
         cache_dir: cached.then(matrix::default_cache_dir),
     };
+    let mut sup = SupervisorOptions::new(opts.clone());
+    if let Some(seed) = chaos_seed {
+        sup.chaos = Some(ChaosOptions {
+            seed,
+            unrecoverable: chaos_hard,
+            ..ChaosOptions::new(seed)
+        });
+        // Chaos stalls are sized to trip the watchdog; a snappy
+        // timeout keeps the sweep's wall-clock reasonable.
+        sup.watchdog = Duration::from_millis(1500);
+    }
+    if let Some(ms) = watchdog_ms {
+        sup.watchdog = Duration::from_millis(ms);
+    }
 
     let mut requests = Vec::new();
     for spec in all_specs() {
         requests.extend(spec.runs_needed(settings));
     }
-    let (results, stats) = matrix::execute(&requests, &opts);
+    let (results, stats, degradation) = matrix::execute_supervised(&requests, &sup);
 
+    // Render only the artefacts whose every run survived; a spec with
+    // missing runs is skipped (noted on stderr below) instead of
+    // panicking mid-print. Surviving artefacts keep their exact bytes
+    // and blank-line separation.
     let mut first = true;
+    let mut skipped = Vec::new();
     for spec in all_specs() {
+        let complete = spec
+            .runs_needed(settings)
+            .iter()
+            .all(|req| results.contains(req));
+        if !complete {
+            skipped.push(spec.id);
+            continue;
+        }
         if !first {
             println!();
         }
@@ -73,6 +141,12 @@ fn main() {
         if cached { ", cached" } else { ", uncached" },
         stats.summary()
     );
+    if !degradation.is_event_free() {
+        eprint!("{}", degradation.render());
+    }
+    for id in &skipped {
+        eprintln!("[plp-bench] artefact {id} skipped: runs missing after degraded execution");
+    }
 
     // Sanitizer verdict — stderr only, so stdout stays byte-identical
     // with sanitizer-off runs. Any invariant violation fails the
@@ -108,5 +182,8 @@ fn main() {
             }
         }
         std::process::exit(1);
+    }
+    if !degradation.fully_recovered() {
+        std::process::exit(3);
     }
 }

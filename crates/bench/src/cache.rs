@@ -12,10 +12,14 @@
 //! rendering — invalidates all previous entries).
 //!
 //! Robustness: the full key is stored in the file and verified on
-//! load, so a hash collision or a stale/corrupt file degrades to a
-//! cache miss, never a wrong result. Only reports without per-persist
-//! records are cached (`record_persists` runs are memory-heavy and
-//! used by crash analyses that need the records anyway).
+//! load, and the whole entry carries an FNV-1a content checksum, so a
+//! hash collision, a truncated write, or a flipped bit degrades to a
+//! quarantined entry ([`load_checked`]) and a regeneration — never a
+//! wrong result and never a harness abort. Rejected entries are moved
+//! to `<cache>/quarantine/` so operators can inspect what corrupted
+//! them. Only reports without per-persist records are cached
+//! (`record_persists` runs are memory-heavy and used by crash analyses
+//! that need the records anyway).
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -26,8 +30,11 @@ use plp_core::{EpochId, RunReport, UpdateScheme};
 use plp_events::Cycle;
 use plp_nvm::NvmStats;
 
-/// Cache format version; part of every content address.
-pub const CACHE_FORMAT: &str = "plp-run-cache v2";
+/// Cache format version; part of every content address. v3 added the
+/// trailing content checksum (value corruption inside a numeric field
+/// re-parses cleanly, so stored-key verification alone cannot catch
+/// it).
+pub const CACHE_FORMAT: &str = "plp-run-cache v3";
 
 /// 64-bit FNV-1a of `key` — the content address.
 pub fn key_hash(key: &str) -> u64 {
@@ -129,8 +136,39 @@ pub fn encode(key: &str, report: &RunReport) -> String {
             v.addr
         );
     }
+    let _ = writeln!(out, "checksum {:016x}", key_hash(&out));
     out.push_str("end\n");
     out
+}
+
+/// Why a cache entry was rejected by [`decode_checked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheFault {
+    /// The file's format line is not [`CACHE_FORMAT`].
+    Version,
+    /// The stored key is not the requested key (hash collision or a
+    /// file renamed into the wrong address).
+    KeyMismatch,
+    /// The content checksum does not cover the bytes on disk — a
+    /// flipped bit or a partially overwritten entry.
+    ChecksumMismatch,
+    /// The entry ends before its `end` terminator — a torn write or a
+    /// short read.
+    Truncated,
+    /// The entry is structurally unparseable.
+    Malformed,
+}
+
+impl std::fmt::Display for CacheFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheFault::Version => write!(f, "format version mismatch"),
+            CacheFault::KeyMismatch => write!(f, "stored-key verification failed"),
+            CacheFault::ChecksumMismatch => write!(f, "content checksum mismatch"),
+            CacheFault::Truncated => write!(f, "truncated entry"),
+            CacheFault::Malformed => write!(f, "malformed entry"),
+        }
+    }
 }
 
 struct Parser<'a> {
@@ -169,17 +207,66 @@ impl<'a> Parser<'a> {
 
 /// Deserializes a report, verifying format version and stored key.
 /// Any mismatch — truncation, corruption, version skew, hash
-/// collision — returns `None` (a cache miss).
+/// collision — returns `None` (a cache miss). See [`decode_checked`]
+/// for the verdict-bearing form the supervised harness uses.
 pub fn decode(key: &str, text: &str) -> Option<RunReport> {
+    decode_checked(key, text).ok()
+}
+
+/// Verifies the entry's integrity envelope: it must terminate with
+/// `checksum <fnv1a64-of-preceding-bytes>` + `end`, and the checksum
+/// must match what is on disk.
+fn verify_checksum(text: &str) -> Result<(), CacheFault> {
+    let without_end = text
+        .strip_suffix("end\n")
+        .or_else(|| text.strip_suffix("end"))
+        .ok_or(CacheFault::Truncated)?;
+    let idx = without_end
+        .rfind("\nchecksum ")
+        .ok_or(CacheFault::Truncated)?;
+    let body = &without_end[..idx + 1];
+    let stored = without_end[idx + 1..]
+        .strip_prefix("checksum ")
+        .map(str::trim_end)
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or(CacheFault::Malformed)?;
+    if key_hash(body) != stored {
+        return Err(CacheFault::ChecksumMismatch);
+    }
+    Ok(())
+}
+
+/// [`decode`], but reporting *why* an entry was rejected so the run
+/// supervisor can distinguish a plain miss from corruption worth
+/// quarantining.
+///
+/// # Errors
+///
+/// Returns the [`CacheFault`] describing the first integrity check the
+/// entry failed.
+pub fn decode_checked(key: &str, text: &str) -> Result<RunReport, CacheFault> {
     let mut p = Parser {
         lines: text.lines(),
     };
-    if p.lines.next()? != CACHE_FORMAT {
-        return None;
+    if p.lines.next().ok_or(CacheFault::Truncated)? != CACHE_FORMAT {
+        return Err(CacheFault::Version);
     }
-    if p.lines.next()?.strip_prefix("key ")? != key {
-        return None;
+    verify_checksum(text)?;
+    let stored_key = p
+        .lines
+        .next()
+        .and_then(|l| l.strip_prefix("key "))
+        .ok_or(CacheFault::Malformed)?;
+    if stored_key != key {
+        return Err(CacheFault::KeyMismatch);
     }
+    parse_body(&mut p).ok_or(CacheFault::Malformed)
+}
+
+/// Parses everything after the format and key lines. Returns `None`
+/// on any structural mismatch (the caller has already checksummed the
+/// bytes, so a failure here is a codec bug or a forged entry).
+fn parse_body(p: &mut Parser<'_>) -> Option<RunReport> {
     let mut report = RunReport {
         total_cycles: Cycle::new(p.u64_field("total_cycles")?),
         instructions: p.u64_field("instructions")?,
@@ -258,16 +345,97 @@ pub fn decode(key: &str, text: &str) -> Option<RunReport> {
             addr: *addr,
         });
     }
+    let _ = p.fields("checksum")?;
     if p.lines.next()? != "end" {
         return None;
     }
     Some(report)
 }
 
+/// The directory rejected entries are moved to.
+pub fn quarantine_dir(dir: &Path) -> PathBuf {
+    dir.join("quarantine")
+}
+
+/// Moves a rejected entry into the quarantine directory, returning the
+/// destination. A name collision (the same address quarantined twice)
+/// gets a numeric suffix; if the move itself fails the entry is
+/// deleted instead — a corrupt file must never be left where the next
+/// probe would trust-and-reject it again.
+fn quarantine_entry(dir: &Path, path: &Path) -> Option<PathBuf> {
+    let qdir = quarantine_dir(dir);
+    let name = path.file_name()?.to_string_lossy().into_owned();
+    let moved = std::fs::create_dir_all(&qdir).ok().and_then(|()| {
+        let mut dest = qdir.join(&name);
+        for n in 1..=64 {
+            if !dest.exists() {
+                break;
+            }
+            dest = qdir.join(format!("{name}.{n}"));
+        }
+        std::fs::rename(path, &dest).ok().map(|()| dest)
+    });
+    if moved.is_none() {
+        std::fs::remove_file(path).ok();
+    }
+    moved
+}
+
+/// What a checked cache probe found.
+#[derive(Debug)]
+pub enum CacheOutcome {
+    /// No entry on disk for this key.
+    Miss,
+    /// A fully verified entry.
+    Hit(RunReport),
+    /// An entry existed but failed verification (or could not be
+    /// read); it was moved to [`quarantine_dir`] — or deleted if the
+    /// move failed — and the caller must regenerate the run.
+    Quarantined {
+        /// The integrity failure, for the degradation report.
+        reason: String,
+        /// Where the rejected bytes went, if the move succeeded.
+        moved_to: Option<PathBuf>,
+    },
+}
+
+/// Probes the cache for `key`, quarantining anything that fails
+/// verification: stored-key mismatches, truncation, checksum failures,
+/// and IO errors on an entry that exists all degrade to a regeneration,
+/// never to a trusted-but-wrong report and never to an abort.
+pub fn load_checked(dir: &Path, key: &str) -> CacheOutcome {
+    let path = cache_path(dir, key);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CacheOutcome::Miss,
+        Err(e) => {
+            let moved_to = quarantine_entry(dir, &path);
+            return CacheOutcome::Quarantined {
+                reason: format!("unreadable entry: {e}"),
+                moved_to,
+            };
+        }
+    };
+    match decode_checked(key, &text) {
+        Ok(report) => CacheOutcome::Hit(report),
+        Err(fault) => {
+            let moved_to = quarantine_entry(dir, &path);
+            CacheOutcome::Quarantined {
+                reason: fault.to_string(),
+                moved_to,
+            }
+        }
+    }
+}
+
 /// Loads the cached report for `key`, or `None` on miss/corruption.
+/// Corrupt entries are quarantined as a side effect (see
+/// [`load_checked`]).
 pub fn load(dir: &Path, key: &str) -> Option<RunReport> {
-    let text = std::fs::read_to_string(cache_path(dir, key)).ok()?;
-    decode(key, &text)
+    match load_checked(dir, key) {
+        CacheOutcome::Hit(report) => Some(report),
+        CacheOutcome::Miss | CacheOutcome::Quarantined { .. } => None,
+    }
 }
 
 /// Stores `report` under `key`, creating the directory as needed.
@@ -343,6 +511,80 @@ mod tests {
             assert_eq!(decode(&key, &truncated), None, "kept {keep} lines");
         }
         assert_eq!(decode(&key, &text.replace("persists", "persits")), None);
+    }
+
+    #[test]
+    fn value_bit_flips_fail_the_checksum() {
+        let (key, report) = sample();
+        let text = encode(&key, &report);
+        // Corrupt a numeric field *in a way that still parses*: this is
+        // exactly what stored-key verification alone cannot catch.
+        let flipped = text.replacen(
+            &format!("instructions {}", report.instructions),
+            &format!("instructions {}", report.instructions + 1),
+            1,
+        );
+        assert_ne!(text, flipped, "corruption must actually change the text");
+        assert_eq!(
+            decode_checked(&key, &flipped),
+            Err(CacheFault::ChecksumMismatch)
+        );
+        assert_eq!(decode(&key, &flipped), None);
+    }
+
+    #[test]
+    fn decode_checked_reports_the_failure_class() {
+        let (key, report) = sample();
+        let text = encode(&key, &report);
+        assert_eq!(decode_checked(&key, &text), Ok(report));
+        assert_eq!(
+            decode_checked("other key", &text),
+            Err(CacheFault::KeyMismatch)
+        );
+        assert_eq!(
+            decode_checked(&key, &text.replace(CACHE_FORMAT, "plp-run-cache v2")),
+            Err(CacheFault::Version)
+        );
+        let truncated = &text[..text.len() / 2];
+        assert_eq!(decode_checked(&key, truncated), Err(CacheFault::Truncated));
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_then_regenerated() {
+        let (key, report) = sample();
+        let dir = std::env::temp_dir().join(format!("plp-quarantine-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        store(&dir, &key, &report);
+        let path = cache_path(&dir, &key);
+
+        // Truncate the stored entry mid-file (a torn write).
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 3]).unwrap();
+
+        let CacheOutcome::Quarantined { reason, moved_to } = load_checked(&dir, &key) else {
+            panic!("corrupt entry must quarantine, not hit or miss");
+        };
+        assert_eq!(reason, CacheFault::Truncated.to_string());
+        let moved_to = moved_to.expect("rename into quarantine succeeds on one filesystem");
+        assert!(moved_to.starts_with(quarantine_dir(&dir)));
+        assert!(moved_to.exists(), "quarantined bytes are preserved");
+        assert!(!path.exists(), "corrupt entry must not stay at its address");
+
+        // The next probe is a clean miss; regeneration then round-trips.
+        assert!(matches!(load_checked(&dir, &key), CacheOutcome::Miss));
+        store(&dir, &key, &report);
+        match load_checked(&dir, &key) {
+            CacheOutcome::Hit(regenerated) => assert_eq!(regenerated, report),
+            other => panic!("regenerated entry must hit, got {other:?}"),
+        }
+
+        // A second quarantine of the same address gets a fresh name.
+        std::fs::write(&path, "garbage").unwrap();
+        let CacheOutcome::Quarantined { moved_to: second, .. } = load_checked(&dir, &key) else {
+            panic!("second corruption must quarantine too");
+        };
+        assert_ne!(second.as_ref(), Some(&moved_to));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

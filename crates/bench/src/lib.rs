@@ -9,15 +9,22 @@
 //! the matrix and cache, table formatting and geometric means.
 
 pub mod cache;
+pub mod chaos;
 pub mod matrix;
 pub mod specs;
+pub mod supervisor;
 
 use plp_core::{run_benchmark, RunReport, SystemConfig};
 use plp_events::stats::geometric_mean;
 use plp_trace::{spec, WorkloadProfile};
 
-pub use matrix::{execute, default_cache_dir, MatrixOptions, MatrixStats, ResultSet, RunRequest};
+pub use chaos::{ChaosOptions, ChaosPlan};
+pub use matrix::{
+    execute, execute_supervised, default_cache_dir, MatrixOptions, MatrixStats, ResultSet,
+    RunRequest,
+};
 pub use specs::{all_specs, ExperimentSpec};
+pub use supervisor::{DegradationReport, RunError, RunVerdict, SupervisorOptions};
 
 /// Harness-wide run settings, parsed from the command line.
 ///

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use plp_core::{RunReport, SimSetup, SystemConfig};
@@ -19,6 +19,9 @@ use plp_events::stats::Throughput;
 use plp_trace::{spec, TraceStore};
 
 use crate::cache;
+use crate::chaos::{self, ChaosFault, ChaosPlan};
+use crate::supervisor::{self, RunError, RunLog, RunVerdict, SupervisedRun, SupervisorOptions};
+use crate::supervisor::DegradationReport;
 use crate::RunSettings;
 
 /// One simulation the harness wants: a benchmark trace under a
@@ -85,6 +88,13 @@ impl ResultSet {
                 request.bench, request.config.scheme
             )
         })
+    }
+
+    /// Whether the matrix produced a report for `request`. Under
+    /// degraded execution some requests may be missing — callers that
+    /// must not panic check here before [`ResultSet::get`].
+    pub fn contains(&self, request: &RunRequest) -> bool {
+        self.reports.contains_key(&request.key())
     }
 
     /// Convenience lookup by parts (see [`RunRequest::new`]).
@@ -183,16 +193,87 @@ impl MatrixStats {
     }
 }
 
-/// Executes every distinct request exactly once and returns the keyed
-/// results plus execution statistics.
+/// Executes every distinct request exactly once under default
+/// supervision and returns the keyed results plus execution
+/// statistics. Anything eventful (a retried, lost or quarantined run)
+/// is rendered to stderr; callers that need the structured
+/// [`DegradationReport`] use [`execute_supervised`] directly.
+pub fn execute(requests: &[RunRequest], opts: &MatrixOptions) -> (ResultSet, MatrixStats) {
+    let sup = SupervisorOptions::new(opts.clone());
+    let (results, stats, degradation) = execute_supervised(requests, &sup);
+    if !degradation.is_event_free() {
+        eprint!("{}", degradation.render());
+    }
+    (results, stats)
+}
+
+/// Everything one attempt closure needs to own (the attempt runs on
+/// its own thread, so borrows of the worker's state won't do).
+struct AttemptJob {
+    req: RunRequest,
+    key: String,
+    traces: Arc<TraceStore>,
+    cache_dir: Option<PathBuf>,
+    faults: Vec<ChaosFault>,
+    stall: Duration,
+    cache_hits: Arc<AtomicUsize>,
+}
+
+impl AttemptJob {
+    /// One isolated attempt: fire this attempt's chaos faults, probe
+    /// the cache (quarantining anything corrupt), and simulate on a
+    /// miss.
+    fn run(self, attempt: u32) -> Result<SupervisedRun, RunError> {
+        chaos::apply_worker_faults(&self.faults, attempt, self.stall);
+        let mut quarantined = None;
+        if let Some(dir) = self.cache_dir.as_deref() {
+            match cache::load_checked(dir, &self.key) {
+                cache::CacheOutcome::Hit(report) => {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(SupervisedRun {
+                        report,
+                        cache_hit: true,
+                        quarantined: None,
+                    });
+                }
+                cache::CacheOutcome::Quarantined { reason, .. } => quarantined = Some(reason),
+                cache::CacheOutcome::Miss => {}
+            }
+        }
+        let report = run_request(&self.req, &self.traces)?;
+        if let Some(dir) = self.cache_dir.as_deref() {
+            cache::store(dir, &self.key, &report);
+        }
+        Ok(SupervisedRun {
+            report,
+            cache_hit: false,
+            quarantined,
+        })
+    }
+}
+
+/// Executes every distinct request exactly once under full
+/// supervision: panic isolation, watchdog timeouts, seeded
+/// retry/backoff, cache quarantine and (optionally) chaos injection.
+///
+/// Returns the keyed results — possibly *partial* under unrecoverable
+/// faults — plus execution statistics and the structured
+/// [`DegradationReport`]. Nothing here prints; stdout for surviving
+/// runs renders byte-identically to a clean run.
 ///
 /// Determinism: the result of each run depends only on its request
 /// (the simulator is seeded and pure), distinct runs share nothing,
-/// and results are keyed by request identity — so thread count,
-/// scheduling order and cache state cannot change any report, only the
-/// wall-clock. Workers claim jobs off a shared atomic index; each
-/// writes its result into that job's dedicated slot.
-pub fn execute(requests: &[RunRequest], opts: &MatrixOptions) -> (ResultSet, MatrixStats) {
+/// results are keyed by request identity, and the chaos plan and
+/// backoff schedules are pure functions of their seeds — so thread
+/// count, scheduling order and cache state cannot change any report
+/// or the degradation verdicts, only the wall-clock. Workers claim
+/// jobs off a shared atomic index; each writes its result into that
+/// job's dedicated slot.
+pub fn execute_supervised(
+    requests: &[RunRequest],
+    sup: &SupervisorOptions,
+) -> (ResultSet, MatrixStats, DegradationReport) {
+    let opts = &sup.matrix;
     // lint: allow(nondeterminism) wall-clock feeds MatrixStats on stderr, never a simulation
     let started = Instant::now();
 
@@ -205,44 +286,97 @@ pub fn execute(requests: &[RunRequest], opts: &MatrixOptions) -> (ResultSet, Mat
             unique.len() - 1
         });
     }
+    let keys: Vec<String> = unique.iter().map(|r| r.key()).collect();
 
-    let traces = TraceStore::new();
+    // Plan and plant chaos before any worker starts, so the fault set
+    // is independent of scheduling.
+    let cache_enabled = opts.cache_dir.is_some();
+    let plan: Option<ChaosPlan> = sup
+        .chaos
+        .map(|chaos_opts| ChaosPlan::generate(chaos_opts, &keys));
+    let chaos_faults = match &plan {
+        Some(plan) => {
+            if let Some(dir) = opts.cache_dir.as_deref() {
+                plan.plant(dir);
+            }
+            plan.descriptions(cache_enabled)
+        }
+        None => Vec::new(),
+    };
+
+    let traces = Arc::new(TraceStore::new());
     let slots: Vec<OnceLock<RunReport>> = (0..unique.len()).map(|_| OnceLock::new()).collect();
+    let logs: Vec<OnceLock<RunLog>> = (0..unique.len()).map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
-    let cache_hits = AtomicUsize::new(0);
+    let cache_hits = Arc::new(AtomicUsize::new(0));
     let throughput = Mutex::new(Throughput::new());
+    let stall = sup.chaos_stall();
 
     let worker = || {
         let mut local = Throughput::new();
         loop {
             let idx = next.fetch_add(1, Ordering::Relaxed);
             let Some(req) = unique.get(idx) else { break };
-            let key = req.key();
+            let key = &keys[idx];
             // lint: allow(nondeterminism) wall-clock feeds throughput stats, never a simulation
             let run_started = Instant::now();
-            let report = match opts
-                .cache_dir
-                .as_deref()
-                .and_then(|dir| cache::load(dir, &key))
-            {
-                Some(cached) => {
-                    cache_hits.fetch_add(1, Ordering::Relaxed);
-                    cached
-                }
-                None => {
-                    let fresh = run_request(req, &traces);
-                    if let Some(dir) = opts.cache_dir.as_deref() {
-                        cache::store(dir, &key, &fresh);
+            let faults: Vec<ChaosFault> = plan
+                .as_ref()
+                .map(|p| p.for_key(key).to_vec())
+                .unwrap_or_default();
+            let has_worker_faults = faults.iter().any(|f| !f.class.is_cache_fault());
+
+            // Fast path: with no worker faults planned, a clean cache
+            // hit needs no attempt thread — this keeps warm-cache
+            // supervision overhead at effectively zero.
+            let mut pre_quarantine = None;
+            let mut outcome: Option<(SupervisedRun, RunLog)> = None;
+            if !has_worker_faults {
+                if let Some(dir) = opts.cache_dir.as_deref() {
+                    match cache::load_checked(dir, key) {
+                        cache::CacheOutcome::Hit(report) => {
+                            cache_hits.fetch_add(1, Ordering::Relaxed);
+                            let run = SupervisedRun {
+                                report,
+                                cache_hit: true,
+                                quarantined: None,
+                            };
+                            outcome = Some((run, RunLog::clean()));
+                        }
+                        cache::CacheOutcome::Quarantined { reason, .. } => {
+                            pre_quarantine = Some(reason);
+                        }
+                        cache::CacheOutcome::Miss => {}
                     }
-                    fresh
                 }
+            }
+
+            let (run, mut log) = match outcome {
+                Some((run, log)) => (Some(run), log),
+                None => supervisor::supervise(key, sup, |attempt| {
+                    let job = AttemptJob {
+                        req: (*req).clone(),
+                        key: key.clone(),
+                        traces: Arc::clone(&traces),
+                        cache_dir: opts.cache_dir.clone(),
+                        faults: faults.clone(),
+                        stall,
+                        cache_hits: Arc::clone(&cache_hits),
+                    };
+                    Box::new(move || job.run(attempt))
+                }),
             };
-            local.record(report.total_cycles.get(), run_started.elapsed());
-            // lint: allow(no-panic-lib) the atomic claim index gives each slot one writer
-            slots[idx].set(report).expect("each job claimed once");
+            log.absorb_quarantine(pre_quarantine);
+            if let Some(run) = run {
+                local.record(run.report.total_cycles.get(), run_started.elapsed());
+                let _ = slots[idx].set(run.report);
+            }
+            let _ = logs[idx].set(log);
         }
-        // lint: allow(no-panic-lib) a poisoned lock means a worker already panicked
-        throughput.lock().unwrap().merge(local);
+        throughput
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .merge(local);
     };
 
     if opts.threads <= 1 {
@@ -255,32 +389,46 @@ pub fn execute(requests: &[RunRequest], opts: &MatrixOptions) -> (ResultSet, Mat
         });
     }
 
+    let mut degradation = DegradationReport::new(chaos_faults);
     let mut reports = HashMap::with_capacity(unique.len());
-    for (req, slot) in unique.iter().zip(slots) {
-        // lint: allow(no-panic-lib) the scoped join guarantees every slot was filled
-        reports.insert(req.key(), slot.into_inner().expect("all jobs completed"));
+    for ((key, slot), log) in keys.iter().zip(slots).zip(logs) {
+        if let Some(report) = slot.into_inner() {
+            reports.insert(key.clone(), report);
+        }
+        let log = log.into_inner().unwrap_or_else(|| RunLog {
+            verdict: RunVerdict::Rejected,
+            failures: vec!["worker never reported a verdict".to_string()],
+            quarantine: None,
+            error: None,
+        });
+        degradation.record(key, log);
     }
     let stats = MatrixStats {
         requested: requests.len(),
         unique: seen.len(),
-        cache_hits: cache_hits.into_inner(),
+        cache_hits: cache_hits.load(Ordering::Relaxed),
         elapsed: started.elapsed(),
-        // lint: allow(no-panic-lib) a poisoned lock means a worker already panicked
-        throughput: throughput.into_inner().unwrap(),
+        throughput: throughput
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner),
     };
-    (ResultSet { reports }, stats)
+    (ResultSet { reports }, stats, degradation)
 }
 
 /// Runs one request, sharing its trace through `traces`.
-fn run_request(req: &RunRequest, traces: &TraceStore) -> RunReport {
+///
+/// # Errors
+///
+/// Returns a typed [`RunError`] for spec bugs — an unknown benchmark
+/// name or an invalid configuration — which the supervisor records as
+/// a [`RunVerdict::Rejected`] instead of panicking the worker.
+fn run_request(req: &RunRequest, traces: &TraceStore) -> Result<RunReport, RunError> {
     let profile = spec::benchmark(&req.bench)
-        // lint: allow(no-panic-lib) a request naming an unknown benchmark is a spec bug
-        .unwrap_or_else(|| panic!("unknown benchmark '{}' in run request", req.bench));
+        .ok_or_else(|| RunError::UnknownBenchmark(req.bench.clone()))?;
     let trace = traces.get(&profile, req.instructions, req.seed);
     let setup = SimSetup::for_profile(req.config.clone(), &profile, req.seed)
-        // lint: allow(no-panic-lib) specs declare only validated configurations
-        .unwrap_or_else(|e| panic!("invalid configuration in run request: {e}"));
-    setup.run(&trace)
+        .map_err(RunError::InvalidConfig)?;
+    Ok(setup.run(&trace))
 }
 
 #[cfg(test)]

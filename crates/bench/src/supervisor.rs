@@ -1,0 +1,619 @@
+//! The run supervisor: panic isolation, watchdog timeouts, seeded
+//! retry/backoff and graceful degradation for the experiment matrix.
+//!
+//! PR 1 made the *simulated* system crash-recoverable; this module
+//! applies the same discipline to the harness that measures it. Every
+//! run attempt executes on a dedicated thread under
+//! [`std::panic::catch_unwind`] with a watchdog timeout; failures are
+//! retried with the shared [`plp_core::retry`] policy (jitter seeded by
+//! the run key, so schedules replay exactly); runs that exhaust their
+//! budget degrade to a structured [`RunVerdict`] in a
+//! [`DegradationReport`] instead of aborting the whole matrix. Output
+//! discipline: supervision never touches stdout — surviving runs render
+//! byte-identically to a clean run, and everything about failures goes
+//! to stderr via [`DegradationReport::render`].
+//!
+//! One sharp edge is documented rather than hidden: a timed-out attempt
+//! thread is *abandoned*, not killed (Rust has no thread cancellation).
+//! An artificially stalled attempt therefore finishes in the
+//! background and may bump the cache-hit counter after stats are
+//! collected; reports and stdout are unaffected because result slots
+//! are written once by the retry driver only.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Once;
+use std::time::Duration;
+
+use plp_core::retry::{RetryPolicy, RetryToken};
+use plp_core::{ConfigError, RunReport};
+
+use crate::chaos::ChaosOptions;
+use crate::matrix::MatrixOptions;
+
+/// Why a run request could not produce a report — the typed form of
+/// what used to be worker panics in `matrix::run_request`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The request names a benchmark the trace registry does not know.
+    UnknownBenchmark(String),
+    /// The request's system configuration failed validation.
+    InvalidConfig(ConfigError),
+    /// The OS refused to spawn the attempt thread.
+    SpawnFailed(String),
+}
+
+impl RunError {
+    /// Whether retrying could possibly help. Spec bugs (unknown
+    /// benchmark, invalid configuration) are deterministic and fail
+    /// every attempt identically, so the supervisor rejects them
+    /// immediately instead of burning the retry budget.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RunError::SpawnFailed(_))
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::UnknownBenchmark(b) => write!(f, "unknown benchmark '{b}' in run request"),
+            RunError::InvalidConfig(e) => write!(f, "invalid configuration in run request: {e}"),
+            RunError::SpawnFailed(e) => write!(f, "could not spawn attempt thread: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// How the supervised matrix executes: the base matrix options plus
+/// the supervision envelope.
+#[derive(Debug, Clone)]
+pub struct SupervisorOptions {
+    /// Threads and cache directory.
+    pub matrix: MatrixOptions,
+    /// Wall-clock budget per attempt before the watchdog abandons it.
+    pub watchdog: Duration,
+    /// Retry/backoff policy (delays in nanoseconds, per the shared
+    /// `plp_core::retry` convention).
+    pub retry: RetryPolicy,
+    /// Seed mixed with each run key into the backoff jitter token.
+    pub backoff_seed: u64,
+    /// Harness-level fault injection, if enabled.
+    pub chaos: Option<ChaosOptions>,
+}
+
+impl SupervisorOptions {
+    /// Default supervision around `matrix`: a generous two-minute
+    /// watchdog (the heaviest paper run takes a couple of seconds) and
+    /// three retries backing off 25 ms → 100 ms → 400 ms with 25%
+    /// seeded jitter.
+    pub fn new(matrix: MatrixOptions) -> Self {
+        SupervisorOptions {
+            matrix,
+            watchdog: Duration::from_secs(120),
+            retry: RetryPolicy::exponential(3, 25.0e6)
+                .with_multiplier(4.0)
+                .with_max_delay_ns(400.0e6)
+                .with_jitter(0.25),
+            backoff_seed: 0x5355_5045_5256_4953, // "SUPERVIS"
+            chaos: None,
+        }
+    }
+
+    /// How long an injected stall sleeps: comfortably past the
+    /// watchdog, so a chaos stall always trips it.
+    pub fn chaos_stall(&self) -> Duration {
+        self.watchdog * 2 + Duration::from_millis(50)
+    }
+}
+
+/// The per-run outcome recorded in the [`DegradationReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunVerdict {
+    /// First attempt, no cache trouble.
+    Ok,
+    /// The run succeeded first try, but only after its cache entry was
+    /// quarantined and the report regenerated.
+    CacheQuarantined,
+    /// The run succeeded after `attempts` failed attempts.
+    Retried {
+        /// Failed attempts before the success.
+        attempts: u32,
+    },
+    /// Every attempt tripped the watchdog; no report exists.
+    TimedOut {
+        /// Attempts made (initial try + retries).
+        attempts: u32,
+    },
+    /// The retry budget drained with the last failure a panic; no
+    /// report exists.
+    Panicked {
+        /// Attempts made (initial try + retries).
+        attempts: u32,
+    },
+    /// A non-retryable typed error ([`RunError`]); no report exists.
+    Rejected,
+}
+
+impl RunVerdict {
+    /// Short stable name for rendering and tests.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RunVerdict::Ok => "ok",
+            RunVerdict::CacheQuarantined => "cache-quarantined",
+            RunVerdict::Retried { .. } => "retried",
+            RunVerdict::TimedOut { .. } => "timed-out",
+            RunVerdict::Panicked { .. } => "panicked",
+            RunVerdict::Rejected => "rejected",
+        }
+    }
+
+    /// Whether the run produced a trustworthy report.
+    pub fn recovered(&self) -> bool {
+        matches!(
+            self,
+            RunVerdict::Ok | RunVerdict::CacheQuarantined | RunVerdict::Retried { .. }
+        )
+    }
+}
+
+/// Everything the supervisor observed about one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunLog {
+    /// The final verdict.
+    pub verdict: RunVerdict,
+    /// One deterministic line per failed attempt.
+    pub failures: Vec<String>,
+    /// Why the run's cache entry was quarantined, if it was.
+    pub quarantine: Option<String>,
+    /// The terminal typed error, for [`RunVerdict::Rejected`].
+    pub error: Option<RunError>,
+}
+
+impl RunLog {
+    /// A clean first-attempt log.
+    pub fn clean() -> Self {
+        RunLog {
+            verdict: RunVerdict::Ok,
+            failures: Vec::new(),
+            quarantine: None,
+            error: None,
+        }
+    }
+
+    /// Folds a cache-quarantine observation made *outside* the
+    /// supervised attempt (the worker's fast-path probe) into the log,
+    /// upgrading a plain `Ok` verdict to `CacheQuarantined`.
+    pub fn absorb_quarantine(&mut self, reason: Option<String>) {
+        if self.quarantine.is_none() {
+            self.quarantine = reason;
+        }
+        if self.quarantine.is_some() && self.verdict == RunVerdict::Ok {
+            self.verdict = RunVerdict::CacheQuarantined;
+        }
+    }
+}
+
+/// Per-verdict tallies of a finished matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerdictCounts {
+    /// Clean first-attempt runs.
+    pub ok: usize,
+    /// Runs that regenerated a quarantined cache entry.
+    pub cache_quarantined: usize,
+    /// Runs that needed retries.
+    pub retried: usize,
+    /// Runs whose every attempt tripped the watchdog.
+    pub timed_out: usize,
+    /// Runs whose budget drained on panics.
+    pub panicked: usize,
+    /// Runs rejected with a typed, non-retryable error.
+    pub rejected: usize,
+}
+
+impl VerdictCounts {
+    /// Runs that produced no report.
+    pub fn lost(&self) -> usize {
+        self.timed_out + self.panicked + self.rejected
+    }
+}
+
+/// The structured outcome of a supervised matrix: what happened to
+/// every run that was not a clean first-attempt success, plus the
+/// chaos faults that were injected. Deterministic by construction —
+/// entries are keyed by run key, failure lines carry no wall-clock —
+/// so two runs with the same chaos seed produce equal reports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradationReport {
+    /// Distinct runs the matrix executed.
+    pub total_runs: usize,
+    counts: VerdictCounts,
+    entries: BTreeMap<String, RunLog>,
+    /// Deterministic descriptions of every injected chaos fault.
+    pub chaos_faults: Vec<String>,
+}
+
+impl DegradationReport {
+    /// An empty report pre-loaded with the chaos fault enumeration.
+    pub fn new(chaos_faults: Vec<String>) -> Self {
+        DegradationReport {
+            chaos_faults,
+            ..DegradationReport::default()
+        }
+    }
+
+    /// Records one run's log. Clean logs only bump counters; anything
+    /// eventful keeps its full log for rendering.
+    pub fn record(&mut self, key: &str, log: RunLog) {
+        self.total_runs += 1;
+        match log.verdict {
+            RunVerdict::Ok => self.counts.ok += 1,
+            RunVerdict::CacheQuarantined => self.counts.cache_quarantined += 1,
+            RunVerdict::Retried { .. } => self.counts.retried += 1,
+            RunVerdict::TimedOut { .. } => self.counts.timed_out += 1,
+            RunVerdict::Panicked { .. } => self.counts.panicked += 1,
+            RunVerdict::Rejected => self.counts.rejected += 1,
+        }
+        if log.verdict != RunVerdict::Ok {
+            self.entries.insert(key.to_string(), log);
+        }
+    }
+
+    /// Per-verdict tallies.
+    pub fn counts(&self) -> VerdictCounts {
+        self.counts
+    }
+
+    /// The eventful runs, keyed and ordered by run key.
+    pub fn entries(&self) -> impl Iterator<Item = (&String, &RunLog)> {
+        self.entries.iter()
+    }
+
+    /// Whether every run produced a report (faults, if any, were all
+    /// recovered).
+    pub fn fully_recovered(&self) -> bool {
+        self.counts.lost() == 0
+    }
+
+    /// Whether there is anything worth printing at all.
+    pub fn is_event_free(&self) -> bool {
+        self.entries.is_empty() && self.chaos_faults.is_empty()
+    }
+
+    /// The stderr rendering: a summary line, the chaos fault
+    /// enumeration, and one block per eventful run.
+    pub fn render(&self) -> String {
+        let c = self.counts;
+        let mut out = format!(
+            "[plp-bench] supervisor: {} runs — {} ok, {} cache-quarantined, {} retried, {} timed-out, {} panicked, {} rejected\n",
+            self.total_runs, c.ok, c.cache_quarantined, c.retried, c.timed_out, c.panicked, c.rejected
+        );
+        if !self.chaos_faults.is_empty() {
+            out.push_str(&format!(
+                "[plp-bench] chaos: {} faults injected\n",
+                self.chaos_faults.len()
+            ));
+            for fault in &self.chaos_faults {
+                out.push_str(&format!("[plp-bench]   chaos-fault {fault}\n"));
+            }
+        }
+        for (key, log) in &self.entries {
+            out.push_str(&format!("[plp-bench]   {} {key}\n", log.verdict.name()));
+            if let Some(reason) = &log.quarantine {
+                out.push_str(&format!("[plp-bench]     cache entry quarantined: {reason}\n"));
+            }
+            for failure in &log.failures {
+                out.push_str(&format!("[plp-bench]     {failure}\n"));
+            }
+            if let Some(error) = &log.error {
+                out.push_str(&format!("[plp-bench]     error: {error}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// A successful supervised execution of one run.
+#[derive(Debug)]
+pub struct SupervisedRun {
+    /// The run's report.
+    pub report: RunReport,
+    /// Whether the report came out of the on-disk cache.
+    pub cache_hit: bool,
+    /// Why the run's previous cache entry was quarantined, if it was.
+    pub quarantined: Option<String>,
+}
+
+/// What one isolated attempt came back with.
+enum AttemptOutcome {
+    /// The attempt ran to completion (successfully or with a typed
+    /// error).
+    Finished(Result<SupervisedRun, RunError>),
+    /// The attempt panicked; the payload rendered as text.
+    Panicked(String),
+    /// The watchdog expired; the attempt thread was abandoned.
+    TimedOut,
+}
+
+thread_local! {
+    /// Marks threads whose panics the quiet hook swallows.
+    static SUPERVISED_THREAD: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once) a panic hook that silences supervised attempt
+/// threads — their panics are caught, recorded and rendered through
+/// the [`DegradationReport`], so the default hook's stderr backtrace
+/// would only be noise — while delegating every other thread's panic
+/// to the previously installed hook.
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPERVISED_THREAD.with(std::cell::Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Renders a panic payload the way the default hook would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one attempt on a dedicated thread under `catch_unwind`,
+/// bounded by the watchdog. A timed-out thread is abandoned (see the
+/// module docs) — the channel send into a dropped receiver is simply
+/// lost.
+fn supervise_attempt<J>(job: J, watchdog: Duration) -> AttemptOutcome
+where
+    J: FnOnce() -> Result<SupervisedRun, RunError> + Send + 'static,
+{
+    let (tx, rx) = mpsc::sync_channel(1);
+    let spawned = std::thread::Builder::new()
+        .name("plp-run-attempt".to_string())
+        .spawn(move || {
+            SUPERVISED_THREAD.with(|s| s.set(true));
+            let outcome = match catch_unwind(AssertUnwindSafe(job)) {
+                Ok(result) => AttemptOutcome::Finished(result),
+                Err(payload) => AttemptOutcome::Panicked(panic_message(payload.as_ref())),
+            };
+            let _ = tx.send(outcome);
+        });
+    let handle = match spawned {
+        Ok(handle) => handle,
+        Err(e) => return AttemptOutcome::Finished(Err(RunError::SpawnFailed(e.to_string()))),
+    };
+    match rx.recv_timeout(watchdog) {
+        Ok(outcome) => {
+            let _ = handle.join();
+            outcome
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => AttemptOutcome::TimedOut,
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            AttemptOutcome::Panicked("attempt thread exited without reporting".to_string())
+        }
+    }
+}
+
+/// The kind of the most recent failed attempt, for the terminal
+/// verdict.
+enum LastFailure {
+    Timeout,
+    Panic,
+    Error(RunError),
+}
+
+/// Drives one run to a verdict: attempt, and on retryable failure back
+/// off (deterministically, seeded by `key`) and attempt again until
+/// success or budget exhaustion. `make_job` builds a fresh isolated
+/// job for each attempt index.
+pub fn supervise<F>(key: &str, opts: &SupervisorOptions, mut make_job: F) -> (Option<SupervisedRun>, RunLog)
+where
+    F: FnMut(u32) -> Box<dyn FnOnce() -> Result<SupervisedRun, RunError> + Send + 'static>,
+{
+    install_quiet_hook();
+    let policy = &opts.retry;
+    let token = RetryToken::new(opts.backoff_seed).mix_str(key);
+    let mut failures = Vec::new();
+    // Failed attempts cannot report a quarantine they performed (the
+    // typed error channel carries no extras); the worker's fast-path
+    // probe merges one in afterwards via `absorb_quarantine`.
+    let quarantine = None;
+    let mut last = LastFailure::Timeout;
+    for attempt in 0..=policy.max_retries {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_nanos(policy.delay_ns(token, attempt) as u64));
+        }
+        match supervise_attempt(make_job(attempt), opts.watchdog) {
+            AttemptOutcome::Finished(Ok(run)) => {
+                let mut log = RunLog {
+                    verdict: if attempt > 0 {
+                        RunVerdict::Retried { attempts: attempt }
+                    } else {
+                        RunVerdict::Ok
+                    },
+                    failures,
+                    quarantine,
+                    error: None,
+                };
+                log.absorb_quarantine(run.quarantined.clone());
+                return (Some(run), log);
+            }
+            AttemptOutcome::Finished(Err(error)) => {
+                failures.push(format!("attempt {attempt}: {error}"));
+                if !error.is_retryable() {
+                    return (
+                        None,
+                        RunLog {
+                            verdict: RunVerdict::Rejected,
+                            failures,
+                            quarantine,
+                            error: Some(error),
+                        },
+                    );
+                }
+                last = LastFailure::Error(error);
+            }
+            AttemptOutcome::Panicked(message) => {
+                failures.push(format!("attempt {attempt}: panicked: {message}"));
+                last = LastFailure::Panic;
+            }
+            AttemptOutcome::TimedOut => {
+                failures.push(format!("attempt {attempt}: watchdog timeout"));
+                last = LastFailure::Timeout;
+            }
+        }
+    }
+    let attempts = policy.max_retries + 1;
+    let (verdict, error) = match last {
+        LastFailure::Timeout => (RunVerdict::TimedOut { attempts }, None),
+        LastFailure::Panic => (RunVerdict::Panicked { attempts }, None),
+        LastFailure::Error(e) => (RunVerdict::Rejected, Some(e)),
+    };
+    (
+        None,
+        RunLog {
+            verdict,
+            failures,
+            quarantine,
+            error,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_opts() -> SupervisorOptions {
+        let mut opts = SupervisorOptions::new(MatrixOptions::serial());
+        opts.watchdog = Duration::from_millis(200);
+        // Near-zero backoff keeps tests fast while still exercising
+        // the scheduling path.
+        opts.retry = RetryPolicy::constant(2, 1000.0);
+        opts
+    }
+
+    fn ok_run() -> Result<SupervisedRun, RunError> {
+        Ok(SupervisedRun {
+            report: RunReport::default(),
+            cache_hit: false,
+            quarantined: None,
+        })
+    }
+
+    #[test]
+    fn clean_job_is_ok_first_try() {
+        let (run, log) = supervise("k", &test_opts(), |_| Box::new(ok_run));
+        assert!(run.is_some());
+        assert_eq!(log.verdict, RunVerdict::Ok);
+        assert!(log.failures.is_empty());
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_retried() {
+        let (run, log) = supervise("k", &test_opts(), |attempt| {
+            if attempt == 0 {
+                Box::new(|| panic!("injected"))
+            } else {
+                Box::new(ok_run)
+            }
+        });
+        assert!(run.is_some());
+        assert_eq!(log.verdict, RunVerdict::Retried { attempts: 1 });
+        assert_eq!(log.failures, vec!["attempt 0: panicked: injected".to_string()]);
+    }
+
+    #[test]
+    fn stalled_job_trips_watchdog_and_retries() {
+        let opts = test_opts();
+        let stall = opts.chaos_stall();
+        let (run, log) = supervise("k", &opts, move |attempt| {
+            if attempt == 0 {
+                Box::new(move || {
+                    std::thread::sleep(stall);
+                    ok_run()
+                })
+            } else {
+                Box::new(ok_run)
+            }
+        });
+        assert!(run.is_some());
+        assert_eq!(log.verdict, RunVerdict::Retried { attempts: 1 });
+        assert_eq!(log.failures, vec!["attempt 0: watchdog timeout".to_string()]);
+    }
+
+    #[test]
+    fn always_panicking_job_exhausts_budget() {
+        let (run, log) = supervise("k", &test_opts(), |_| Box::new(|| panic!("sticky")));
+        assert!(run.is_none());
+        assert_eq!(log.verdict, RunVerdict::Panicked { attempts: 3 });
+        assert_eq!(log.failures.len(), 3);
+    }
+
+    #[test]
+    fn non_retryable_error_rejects_immediately() {
+        let mut calls = 0;
+        let (run, log) = supervise("k", &test_opts(), |_| {
+            calls += 1;
+            Box::new(|| Err(RunError::UnknownBenchmark("nope".to_string())))
+        });
+        assert!(run.is_none());
+        assert_eq!(calls, 1, "a spec bug must not burn the retry budget");
+        assert_eq!(log.verdict, RunVerdict::Rejected);
+        assert_eq!(
+            log.error,
+            Some(RunError::UnknownBenchmark("nope".to_string()))
+        );
+    }
+
+    #[test]
+    fn degradation_report_orders_and_counts() {
+        let mut report = DegradationReport::new(vec!["worker-panic@0 b".to_string()]);
+        report.record("b", {
+            let mut log = RunLog::clean();
+            log.verdict = RunVerdict::Retried { attempts: 1 };
+            log.failures.push("attempt 0: panicked: chaos".to_string());
+            log
+        });
+        report.record("a", RunLog::clean());
+        report.record("c", {
+            let mut log = RunLog::clean();
+            log.verdict = RunVerdict::TimedOut { attempts: 3 };
+            log
+        });
+        assert_eq!(report.total_runs, 3);
+        assert_eq!(report.counts().ok, 1);
+        assert_eq!(report.counts().retried, 1);
+        assert_eq!(report.counts().timed_out, 1);
+        assert!(!report.fully_recovered());
+        let keys: Vec<&String> = report.entries().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["b", "c"], "entries are key-ordered, clean runs elided");
+        let rendered = report.render();
+        assert!(rendered.contains("3 runs"));
+        assert!(rendered.contains("chaos-fault worker-panic@0 b"));
+        assert!(rendered.contains("timed-out c"));
+    }
+
+    #[test]
+    fn quarantine_upgrades_ok_verdict() {
+        let mut log = RunLog::clean();
+        log.absorb_quarantine(Some("content checksum mismatch".to_string()));
+        assert_eq!(log.verdict, RunVerdict::CacheQuarantined);
+        assert!(log.verdict.recovered());
+        // But never downgrades an eventful verdict.
+        let mut retried = RunLog::clean();
+        retried.verdict = RunVerdict::Retried { attempts: 2 };
+        retried.absorb_quarantine(Some("truncated entry".to_string()));
+        assert_eq!(retried.verdict, RunVerdict::Retried { attempts: 2 });
+    }
+}

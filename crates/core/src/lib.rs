@@ -45,6 +45,7 @@ pub mod fault;
 pub mod meta;
 mod recovery;
 mod report;
+pub mod retry;
 pub mod sanitizer;
 pub mod sgx;
 mod system;

@@ -1,0 +1,23 @@
+//! The canonical path of the workspace retry/backoff policy.
+//!
+//! The implementation lives in [`plp_events::retry`] because the NVM
+//! device model sits *below* `plp-core` in the crate graph and must
+//! consume the same policy (its transient-read-fault controller backs
+//! off through it). Everything above `plp-core` — the experiment
+//! harness's run supervisor in particular — imports it from here, so
+//! there is exactly one retry implementation in the tree and
+//! `plp_core::retry` is its one front door.
+//!
+//! # Example
+//!
+//! ```
+//! use plp_core::retry::{RetryPolicy, RetryToken};
+//!
+//! // The harness supervisor's shape: exponential, jittered, bounded,
+//! // seeded by the run key so schedules replay exactly.
+//! let policy = RetryPolicy::exponential(3, 25.0e6).with_jitter(0.25);
+//! let token = RetryToken::new(0xC0FFEE).mix_str("gcc|scheme=o3|seed=7");
+//! assert_eq!(policy.schedule(token), policy.schedule(token));
+//! ```
+
+pub use plp_events::retry::{RetryPolicy, RetryToken};

@@ -42,6 +42,7 @@ pub mod addr;
 mod bounded;
 mod queue;
 mod resource;
+pub mod retry;
 pub mod stats;
 mod time;
 

@@ -251,18 +251,24 @@ impl NvmDevice {
         let start = bank.reserve(admitted.get(), latency.get());
         let mut done = Cycle::new(start) + latency;
         // Transient read faults: each attempt fails independently; the
-        // controller backs off and re-reads (the row is open by then)
-        // until it succeeds or the retry budget runs out.
+        // controller backs off through the shared retry policy and
+        // re-reads (the row is open by then) until it succeeds or the
+        // retry budget runs out.
         let fault = &self.config.read_fault;
         if fault.is_enabled() {
             let p = fault.fault_probability;
-            let backoff = self.config.cpu_freq.cycles_for_ns(fault.retry_backoff_ns);
+            let policy = fault.retry_policy();
+            let token = plp_events::retry::RetryToken::new(fault.seed);
             let retry_latency = self.config.timing.read_row_hit_cycles(self.config.cpu_freq);
             let mut failed = fault_roll(&mut self.fault_rng, p);
-            let mut retries = 0;
-            while failed && retries < fault.max_retries {
-                retries += 1;
+            let mut attempt = 0;
+            while failed && attempt < policy.max_retries {
+                attempt += 1;
                 self.stats.read_retries += 1;
+                let backoff = self
+                    .config
+                    .cpu_freq
+                    .cycles_for_ns(policy.delay_ns(token, attempt));
                 let retry_start = bank.reserve((done + backoff).get(), retry_latency.get());
                 done = Cycle::new(retry_start) + retry_latency;
                 failed = fault_roll(&mut self.fault_rng, p);
@@ -491,6 +497,32 @@ mod tests {
         assert_eq!(faulty.stats().read_failures, 1);
         // Each retry costs at least the back-off plus a re-read.
         assert!(slow >= fast + Cycle::new(3 * (400 + 70)), "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn retry_backoff_timing_is_pinned_to_pre_policy_behaviour() {
+        // Regression pin for the plp_core::retry unification: the
+        // device used ad-hoc constants (a flat retry_backoff_ns wait
+        // per retry); the shared RetryPolicy::constant must reproduce
+        // that schedule cycle-for-cycle. With every attempt failing:
+        // initial row-miss read completes at 290; each of the 3 retries
+        // waits 100 ns (400 cycles at 4 GHz) then re-reads the open row
+        // (70 cycles): 290 + 3 * (400 + 70) = 1700.
+        let mut faulty = NvmDevice::new(NvmConfig {
+            read_fault: crate::ReadFaultConfig {
+                fault_probability: 1.0,
+                max_retries: 3,
+                retry_backoff_ns: 100.0,
+                seed: 42,
+            },
+            ..NvmConfig::paper_default()
+        });
+        let done = faulty.read(Cycle::ZERO, BlockAddr::new(0));
+        assert_eq!(done.get(), 1700);
+        // And the derived policy itself is the flat legacy schedule.
+        let policy = faulty.config().read_fault.retry_policy();
+        let token = plp_events::retry::RetryToken::new(42);
+        assert_eq!(policy.schedule(token), vec![100.0, 100.0, 100.0]);
     }
 
     #[test]

@@ -134,6 +134,17 @@ impl ReadFaultConfig {
     pub fn is_enabled(&self) -> bool {
         self.fault_probability > 0.0
     }
+
+    /// The controller's backoff as the shared workspace policy
+    /// (`plp_core::retry`): a constant, jitter-free schedule of
+    /// `max_retries` waits of `retry_backoff_ns` each. Keeping the
+    /// configuration surface as two plain numbers and deriving the
+    /// policy here means the device and the harness retry through one
+    /// implementation without changing this struct's (cache-keyed)
+    /// shape.
+    pub fn retry_policy(&self) -> plp_events::retry::RetryPolicy {
+        plp_events::retry::RetryPolicy::constant(self.max_retries, self.retry_backoff_ns)
+    }
 }
 
 impl Default for ReadFaultConfig {

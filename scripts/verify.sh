@@ -11,7 +11,8 @@ cargo test -q
 cargo clippy --all-targets -- -D warnings
 
 # Repo-wide custom lint pass: persist-math cast hygiene, no panics in
-# library code, exhaustive UpdateScheme matches, banned nondeterminism.
+# library code, exhaustive UpdateScheme matches, banned nondeterminism,
+# no bare retry loops outside the shared plp_core::retry policy.
 # Writes the machine-readable report consumed by results/analysis.json
 # consumers; any violation fails the gate with a per-rule summary.
 cargo run -q -p plp-analyze --bin plp-lint -- --json results/analysis.json
@@ -20,6 +21,23 @@ cargo run -q -p plp-analyze --bin plp-lint -- --json results/analysis.json
 # uncached so it always exercises the simulator, parallel so it also
 # exercises the worker pool. Byte-determinism of the output against a
 # serial run is covered by crates/bench/tests/determinism.rs.
-cargo run --release -q -p plp-bench --bin all -- 10000 7 --no-cache > /dev/null
+clean_out=$(mktemp)
+cargo run --release -q -p plp-bench --bin all -- 10000 7 --no-cache > "$clean_out"
+
+# Chaos smoke gate: the same sweep under a deterministic fault plan
+# (worker panics, stalls, cache truncation/bit-flips/IO errors, seeded
+# by 0xC0FFEE) must exit 0 — every fault recovered — with stdout
+# byte-identical to the clean run. Running from a throwaway directory
+# keeps planted cache corruption away from the real results/cache.
+chaos_out=$(mktemp)
+chaos_dir=$(mktemp -d)
+repo_root=$(pwd)
+(cd "$chaos_dir" && "$repo_root/target/release/all" 10000 7 --chaos 0xC0FFEE 2> chaos.err > "$chaos_out") || {
+  echo "verify: chaos sweep failed (exit $?)"; cat "$chaos_dir/chaos.err" >&2; exit 1
+}
+cmp "$clean_out" "$chaos_out" || {
+  echo "verify: chaos sweep stdout diverged from the clean run"; exit 1
+}
+rm -rf "$clean_out" "$chaos_out" "$chaos_dir"
 
 echo "verify: OK"

@@ -1,4 +1,4 @@
-//! The five workspace lint rules.
+//! The six workspace lint rules.
 //!
 //! Each rule is a pattern over the lexed [`SourceModel`] (comments and
 //! literals already blanked, test regions marked). Rules fire only
@@ -29,16 +29,22 @@ pub const NONDETERMINISM: RuleId = "nondeterminism";
 /// loop header that mentions retrying without mentioning a policy is
 /// a bare retry loop.
 pub const NO_BARE_RETRY_LOOP: RuleId = "no-bare-retry-loop";
+/// BMT node storage must stay arena-backed: a map keyed by
+/// `NodeLabel` in the address-math crates reintroduces the hash-probe
+/// hot path the dense arena replaced. Tests (golden oracles) are
+/// exempt, as is any hit with a reasoned allow directive.
+pub const NO_NODE_HASHMAP: RuleId = "no-node-hashmap";
 /// An allow directive without a reason.
 pub const ALLOW_REASON: RuleId = "allow-reason";
 
 /// All real rules, in reporting order ([`ALLOW_REASON`] is meta).
-pub const RULES: [RuleId; 5] = [
+pub const RULES: [RuleId; 6] = [
     NO_PANIC_LIB,
     NARROWING_CAST,
     SCHEME_MATCH_WILDCARD,
     NONDETERMINISM,
     NO_BARE_RETRY_LOOP,
+    NO_NODE_HASHMAP,
 ];
 
 /// One rule hit.
@@ -121,6 +127,9 @@ pub fn run(path: &str, model: &SourceModel, scope: FileScope) -> Vec<Finding> {
             for cast in narrowing_casts(code) {
                 push(NARROWING_CAST, idx, &cast);
             }
+            for hit in node_map_types(code) {
+                push(NO_NODE_HASHMAP, idx, &hit);
+            }
         }
         for pat in ["SystemTime", "Instant::now", "thread_rng", "from_entropy"] {
             if code.contains(pat) {
@@ -180,6 +189,24 @@ fn is_bare_retry_loop(code: &str) -> bool {
         .any(|w| lowered.contains(w));
     // "olicy" covers both `policy.max_retries` and `RetryPolicy`.
     retries && !lowered.contains("olicy")
+}
+
+/// Every map type keyed by a BMT node label on a blanked code line:
+/// `…Map<NodeLabel, …>` (any path prefix on the key type). Matches
+/// `HashMap`, `BTreeMap`, `FastMap` and friends by suffix, so a new
+/// alias can't dodge the rule.
+fn node_map_types(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (pos, _) in code.match_indices("Map<") {
+        // The key type is everything up to the first comma at this
+        // nesting level; a path-qualified `plp_bmt::NodeLabel` counts.
+        let args = &code[pos + 4..];
+        let key = args.split([',', '>']).next().unwrap_or("");
+        if key.trim().split("::").last() == Some("NodeLabel") {
+            out.push(format!("Map<{}", key.trim()));
+        }
+    }
+    out
 }
 
 /// The integer types an `as` cast may silently truncate to.
@@ -275,6 +302,42 @@ mod tests {
     fn nondeterminism_sources_are_flagged() {
         let f = hits("let t = SystemTime::now(); let r = thread_rng();\n", LIB);
         assert_eq!(f.iter().filter(|f| f.rule == NONDETERMINISM).count(), 2);
+    }
+
+    #[test]
+    fn node_label_maps_are_flagged_in_address_crates() {
+        let src = concat!(
+            "nodes: HashMap<NodeLabel, NodeValue>,\n",
+            "dirty: BTreeMap<plp_bmt::NodeLabel, Cycle>,\n",
+            "fast: FastMap<NodeLabel, (EpochId, Cycle)>,\n",
+            "fine: HashMap<u64, NodeValue>,\n",
+            "also_fine: Vec<NodeLabel>,\n",
+        );
+        let f = hits(src, LIB);
+        let maps: Vec<_> = f.iter().filter(|f| f.rule == NO_NODE_HASHMAP).collect();
+        assert_eq!(maps.len(), 3, "{maps:?}");
+        assert_eq!(maps[0].line, 1);
+        assert_eq!(maps[2].line, 3);
+    }
+
+    #[test]
+    fn node_label_maps_exempt_in_tests_and_outside_address_math() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    struct Golden { nodes: HashMap<NodeLabel, NodeValue> }\n",
+            "}\n",
+        );
+        let f = hits(src, LIB);
+        assert!(f.iter().all(|f| f.rule != NO_NODE_HASHMAP));
+
+        let other = FileScope::classify("crates/trace/src/lib.rs");
+        let f = run(
+            "crates/trace/src/lib.rs",
+            &SourceModel::parse("x: HashMap<NodeLabel, u64>,\n"),
+            other,
+        );
+        assert!(f.iter().all(|f| f.rule != NO_NODE_HASHMAP));
     }
 
     #[test]

@@ -20,6 +20,7 @@ struct Harness {
     meta: MetadataCaches,
     nvm: NvmDevice,
     stats: EngineStats,
+    walk: Vec<plp_bmt::NodeLabel>,
 }
 
 impl Harness {
@@ -29,6 +30,7 @@ impl Harness {
             meta: MetadataCaches::new(128 << 10, true),
             nvm: NvmDevice::new(NvmConfig::paper_default()),
             stats: EngineStats::default(),
+            walk: Vec::new(),
         }
     }
 
@@ -40,6 +42,7 @@ impl Harness {
             nvm: &mut self.nvm,
             stats: &mut self.stats,
             tap: None,
+            walk: &mut self.walk,
         }
     }
 }

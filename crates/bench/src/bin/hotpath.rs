@@ -1,0 +1,319 @@
+//! Hot-path microbenchmark: steady-state host cost of the persist
+//! path per scheme, plus the cold/warm wall-clock of a reduced
+//! experiment sweep.
+//!
+//! Per scheme, the benchmark generates one trace, warms the process
+//! with an untimed run, then times `--reps` full simulations and
+//! reports the *fastest* observed host nanoseconds per persist-path
+//! invocation (ordered persists + eviction write-backs — every call
+//! that walks the BMT). Host noise is strictly additive, so the
+//! minimum is the stable estimator of the code's actual cost — a
+//! median would gate on machine load. Each sample is additionally
+//! divided by the wall-clock of a fixed pure-CPU calibration
+//! workload timed around it, yielding a load-normalized *relative
+//! cost*: a slow or contended machine inflates numerator and
+//! denominator alike, while a code regression inflates only the
+//! numerator. The sweep section executes every registered
+//! experiment's requests at a reduced instruction count, cold then
+//! warm, through [`plp_bench::matrix::time_sweep`].
+//!
+//! The result is written to `BENCH_hotpath.json` (override with
+//! `--out`). With `--check <baseline.json>` the run compares its
+//! per-scheme *relative costs* against the committed baseline's
+//! `relative_cost` section and exits 1 on a >10% regression; raw
+//! nanoseconds and wall-clock numbers are reported but never gate
+//! (they track machine load, not just code).
+//!
+//! Host timing is intentionally nondeterministic (it measures this
+//! machine); simulated results never flow through this binary.
+//!
+//! Usage: `hotpath [--out PATH] [--check BASELINE] [--instructions N]
+//! [--seed N] [--reps N] [--sweep-instructions N] [--threads N]`
+
+use std::path::PathBuf;
+// lint: allow(nondeterminism) host wall-clock is this benchmark's measurand
+use std::time::Instant;
+
+use plp_bench::matrix::{time_sweep, MatrixOptions, RunRequest, SweepTiming};
+use plp_bench::{all_specs, RunSettings};
+use plp_core::{SimSetup, SystemConfig, UpdateScheme};
+use plp_trace::{spec, TraceGenerator};
+
+/// Tolerated per-scheme slowdown before `--check` fails the run.
+const REGRESSION_TOLERANCE: f64 = 1.10;
+
+struct Options {
+    out: PathBuf,
+    check: Option<PathBuf>,
+    instructions: u64,
+    seed: u64,
+    reps: usize,
+    sweep_instructions: u64,
+    threads: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            out: PathBuf::from("BENCH_hotpath.json"),
+            check: None,
+            instructions: 100_000,
+            seed: 7,
+            reps: 7,
+            sweep_instructions: 50_000,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hotpath [--out PATH] [--check BASELINE] [--instructions N] \
+         [--seed N] [--reps N] [--sweep-instructions N] [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut o = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => o.out = PathBuf::from(p),
+                None => usage(),
+            },
+            "--check" => match args.next() {
+                Some(p) => o.check = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--instructions" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => o.instructions = n,
+                _ => usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => o.seed = n,
+                None => usage(),
+            },
+            "--reps" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => o.reps = n,
+                _ => usage(),
+            },
+            "--sweep-instructions" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => o.sweep_instructions = n,
+                _ => usage(),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => o.threads = n,
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    o
+}
+
+/// Iterations of the calibration workload (a fixed pure-CPU mul/add
+/// chain the optimizer cannot elide).
+const CAL_ITERS: u64 = 1 << 22;
+
+/// Times the fixed calibration workload once, in nanoseconds. Pure
+/// CPU with no memory traffic: machine load slows it and the
+/// simulator alike, so their ratio is load-invariant.
+fn calibration_ns() -> f64 {
+    // lint: allow(nondeterminism) host wall-clock is the measurand
+    let started = Instant::now();
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for i in 0..CAL_ITERS {
+        x = std::hint::black_box(x.wrapping_mul(0x0100_0000_01B3).wrapping_add(i));
+    }
+    std::hint::black_box(x);
+    started.elapsed().as_nanos() as f64
+}
+
+/// One scheme's steady-state persist-path cost: `(ns_per_persist,
+/// relative_cost)` where the relative cost is the load-normalized
+/// gate metric — host ns per persist divided by the host ns of the
+/// calibration workload timed around the same sample. One untimed
+/// warmup run, then the minimum over `reps` timed runs of each.
+fn scheme_persist_cost(scheme: UpdateScheme, o: &Options) -> (f64, f64) {
+    let profile = spec::benchmark("milc").expect("milc is a registered benchmark");
+    let trace = TraceGenerator::new(profile.clone(), o.seed).generate(o.instructions);
+    let mut cfg = SystemConfig::for_scheme(scheme);
+    cfg.ideal_metadata = true;
+    let setup = SimSetup::for_profile(cfg, &profile, o.seed).expect("paper-default config");
+
+    let _ = setup.simulation().run(&trace); // warmup
+    let (mut best_ns, mut best_rel) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..o.reps {
+        let cal_before = calibration_ns();
+        let sim = setup.simulation();
+        // lint: allow(nondeterminism) host wall-clock is the measurand
+        let started = Instant::now();
+        let report = sim.run(&trace);
+        let elapsed = started.elapsed();
+        let cal = cal_before.min(calibration_ns());
+        let calls = (report.persists + report.writebacks).max(1);
+        let ns = elapsed.as_nanos() as f64 / calls as f64;
+        best_ns = best_ns.min(ns);
+        best_rel = best_rel.min(ns / cal);
+    }
+    (best_ns, best_rel)
+}
+
+/// The reduced all-experiments sweep, executed cold then warm through
+/// a fresh throwaway cache directory.
+fn sweep_timing(o: &Options) -> SweepTiming {
+    let settings = RunSettings {
+        instructions: o.sweep_instructions,
+        seed: o.seed,
+    };
+    let mut requests: Vec<RunRequest> = Vec::new();
+    for spec in all_specs() {
+        requests.extend(spec.runs_needed(settings));
+    }
+    let cache_dir = std::env::temp_dir().join(format!(
+        "plp-hotpath-cache-{}-{}",
+        std::process::id(),
+        o.seed
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let opts = MatrixOptions {
+        threads: o.threads,
+        cache_dir: Some(cache_dir.clone()),
+    };
+    let timing = time_sweep(&requests, &opts);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    timing
+}
+
+fn render_json(o: &Options, timings: &[(UpdateScheme, f64, f64)], sweep: &SweepTiming) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"format\": 1,\n");
+    out.push_str(&format!("  \"instructions\": {},\n", o.instructions));
+    out.push_str(&format!("  \"seed\": {},\n", o.seed));
+    out.push_str(&format!("  \"reps\": {},\n", o.reps));
+    out.push_str(&format!(
+        "  \"sweep_instructions\": {},\n",
+        o.sweep_instructions
+    ));
+    out.push_str("  \"relative_cost\": {\n");
+    for (i, (scheme, _, rel)) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        out.push_str(&format!("    \"{}\": {:.6}{}\n", scheme.name(), rel, comma));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"ns_per_persist\": {\n");
+    for (i, (scheme, ns, _)) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        out.push_str(&format!("    \"{}\": {:.1}{}\n", scheme.name(), ns, comma));
+    }
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"sweep_unique_runs\": {},\n", sweep.unique_runs));
+    out.push_str(&format!(
+        "  \"cold_sweep_ms\": {:.1},\n",
+        sweep.cold.as_secs_f64() * 1e3
+    ));
+    out.push_str(&format!(
+        "  \"warm_sweep_ms\": {:.1}\n",
+        sweep.warm.as_secs_f64() * 1e3
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Pulls `"key": number` out of a flat JSON document (the only shape
+/// this tool reads or writes — no dependency needed).
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = doc.find(&needle)? + needle.len();
+    let rest = doc[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares fresh per-scheme relative costs against the committed
+/// baseline's `relative_cost` section; returns the regression report
+/// lines (empty = gate passes). Only the load-normalized metric
+/// gates — raw nanoseconds track the machine, not the code.
+fn check_regressions(baseline: &str, timings: &[(UpdateScheme, f64, f64)]) -> Vec<String> {
+    let rel_section = match baseline.find("\"relative_cost\"") {
+        Some(pos) => &baseline[pos..],
+        None => return vec!["  baseline has no \"relative_cost\" section".to_string()],
+    };
+    let mut failures = Vec::new();
+    for (scheme, _, rel) in timings {
+        let Some(base) = json_number(rel_section, scheme.name()) else {
+            // A scheme missing from the baseline is not a regression —
+            // the next baseline refresh will pin it.
+            continue;
+        };
+        if *rel > base * REGRESSION_TOLERANCE {
+            failures.push(format!(
+                "  {}: relative cost {:.4} vs baseline {:.4} (+{:.0}%)",
+                scheme.name(),
+                rel,
+                base,
+                (rel / base - 1.0) * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let o = parse_args();
+
+    let mut timings = Vec::new();
+    for scheme in UpdateScheme::all_extended() {
+        let (ns, rel) = scheme_persist_cost(scheme, &o);
+        eprintln!(
+            "hotpath: {:<10} {:>10.1} ns/persist  (relative cost {:.4})",
+            scheme.name(),
+            ns,
+            rel
+        );
+        timings.push((scheme, ns, rel));
+    }
+
+    let sweep = sweep_timing(&o);
+    eprintln!(
+        "hotpath: sweep ({} unique runs) cold {:.2}s, warm {:.2}s",
+        sweep.unique_runs,
+        sweep.cold.as_secs_f64(),
+        sweep.warm.as_secs_f64()
+    );
+
+    let doc = render_json(&o, &timings, &sweep);
+    if let Err(e) = std::fs::write(&o.out, &doc) {
+        eprintln!("hotpath: cannot write {}: {e}", o.out.display());
+        std::process::exit(2);
+    }
+    eprintln!("hotpath: wrote {}", o.out.display());
+
+    if let Some(baseline_path) = &o.check {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("hotpath: cannot read baseline {}: {e}", baseline_path.display());
+                std::process::exit(2);
+            }
+        };
+        let failures = check_regressions(&baseline, &timings);
+        if !failures.is_empty() {
+            eprintln!(
+                "hotpath: PERF GATE FAILED (>{:.0}% over baseline):",
+                (REGRESSION_TOLERANCE - 1.0) * 100.0
+            );
+            for f in &failures {
+                eprintln!("{f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("hotpath: perf gate passed against {}", baseline_path.display());
+    }
+}

@@ -20,8 +20,8 @@ use plp_trace::{spec, WorkloadProfile};
 
 pub use chaos::{ChaosOptions, ChaosPlan};
 pub use matrix::{
-    execute, execute_supervised, default_cache_dir, MatrixOptions, MatrixStats, ResultSet,
-    RunRequest,
+    execute, execute_supervised, default_cache_dir, time_sweep, MatrixOptions, MatrixStats,
+    ResultSet, RunRequest, SweepTiming,
 };
 pub use specs::{all_specs, ExperimentSpec};
 pub use supervisor::{DegradationReport, RunError, RunVerdict, SupervisorOptions};

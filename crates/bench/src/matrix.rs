@@ -193,6 +193,36 @@ impl MatrixStats {
     }
 }
 
+/// Wall-clock of one request set executed twice: a cold pass and an
+/// immediately following warm pass with the same options.
+///
+/// With a (fresh) cache directory the cold pass simulates everything
+/// and the warm pass measures pure cache-replay overhead; with the
+/// cache disabled both passes simulate, and `warm` measures the
+/// process-warm steady state the hot-path benchmark pins.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepTiming {
+    /// Elapsed wall-clock of the first (cold) pass.
+    pub cold: Duration,
+    /// Elapsed wall-clock of the second (warm) pass.
+    pub warm: Duration,
+    /// Distinct runs per pass after deduplication.
+    pub unique_runs: usize,
+}
+
+/// Times a cold-then-warm double execution of `requests` (see
+/// [`SweepTiming`]). Reports are discarded; only the wall-clock and
+/// dedup statistics survive, so this never perturbs rendered output.
+pub fn time_sweep(requests: &[RunRequest], opts: &MatrixOptions) -> SweepTiming {
+    let (_, cold) = execute(requests, opts);
+    let (_, warm) = execute(requests, opts);
+    SweepTiming {
+        cold: cold.elapsed,
+        warm: warm.elapsed,
+        unique_runs: cold.unique,
+    }
+}
+
 /// Executes every distinct request exactly once under default
 /// supervision and returns the keyed results plus execution
 /// statistics. Anything eventful (a retried, lost or quarantined run)

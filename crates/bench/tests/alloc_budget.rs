@@ -1,0 +1,200 @@
+//! Allocation-regression pin: the arena-backed persist hot path must
+//! be heap-allocation-free in steady state, so the PR-5 optimization
+//! can't silently rot back into per-persist `Vec`s.
+//!
+//! A counting global allocator wraps `System`; each phase warms its
+//! subject (first-touch growth — map resizes, `VecDeque` reservations,
+//! lazy arena population — is allowed once), snapshots the allocation
+//! counter, drives a measured burst, and demands the counter did not
+//! move. Everything runs inside ONE `#[test]` so no sibling test can
+//! allocate concurrently and pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use plp_bmt::{BmtGeometry, BonsaiTree};
+use plp_core::engine::{
+    CoalescingEngine, EngineCtx, EngineStats, OooEngine, PipelinedEngine, SequentialEngine,
+    UpdateRequest,
+};
+use plp_core::meta::MetadataCaches;
+use plp_crypto::{CounterBlock, SipKey};
+use plp_events::Cycle;
+use plp_nvm::{NvmConfig, NvmDevice};
+
+/// `System`, with every allocation and reallocation counted.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `burst` and returns how many heap allocations it performed.
+fn count_allocs(mut burst: impl FnMut()) -> u64 {
+    let before = allocations();
+    burst();
+    allocations() - before
+}
+
+struct Harness {
+    geometry: BmtGeometry,
+    meta: MetadataCaches,
+    nvm: NvmDevice,
+    stats: EngineStats,
+    walk: Vec<plp_bmt::NodeLabel>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Harness {
+            geometry: BmtGeometry::new(8, 9),
+            meta: MetadataCaches::new(128 << 10, true),
+            nvm: NvmDevice::new(NvmConfig::paper_default()),
+            stats: EngineStats::default(),
+            walk: Vec::new(),
+        }
+    }
+
+    fn ctx(&mut self) -> EngineCtx<'_> {
+        EngineCtx {
+            geometry: self.geometry,
+            mac_latency: Cycle::new(40),
+            meta: &mut self.meta,
+            nvm: &mut self.nvm,
+            stats: &mut self.stats,
+            tap: None,
+            walk: &mut self.walk,
+        }
+    }
+}
+
+const WARM_ROUNDS: u64 = 4;
+const MEASURED_ROUNDS: u64 = 16;
+const PAGES: u64 = 256;
+
+#[test]
+fn steady_state_persist_path_is_allocation_free() {
+    // ---- Phase 1: the arena-backed tree itself. -------------------
+    let geometry = BmtGeometry::new(8, 9);
+    let mut tree = BonsaiTree::new(geometry, SipKey::new(7, 11));
+    let mut counters = CounterBlock::default();
+    let touch = |tree: &mut BonsaiTree, counters: &mut CounterBlock, rounds: u64| {
+        for r in 0..rounds {
+            for page in 0..PAGES {
+                counters.bump((page as usize + r as usize) % 64);
+                let _ = tree.update_leaf(page * 37 % 4096, counters);
+            }
+        }
+    };
+    touch(&mut tree, &mut counters, WARM_ROUNDS);
+    let tree_allocs = count_allocs(|| touch(&mut tree, &mut counters, MEASURED_ROUNDS));
+    assert_eq!(
+        tree_allocs, 0,
+        "BonsaiTree::update_leaf allocated {tree_allocs} times over \
+         {} warmed updates — the arena hot path must be allocation-free",
+        MEASURED_ROUNDS * PAGES
+    );
+
+    // ---- Phase 2: every engine's persist scheduling. --------------
+    // Warm each engine over the same page pattern the measured burst
+    // uses, then demand the burst itself never touches the heap.
+    // (Epoch seals are excluded: sealing appends one completion record
+    // per epoch by design; the per-persist budget is what's pinned.)
+
+    let mut h = Harness::new();
+    let mut seq = SequentialEngine::new(Cycle::new(40));
+    let mut now = 0u64;
+    let mut drive_seq = |h: &mut Harness, e: &mut SequentialEngine, rounds: u64| {
+        for _ in 0..rounds {
+            for i in 0..PAGES {
+                now += 5;
+                let req = UpdateRequest {
+                    leaf: h.geometry.leaf(i * 13 % 4096),
+                    now: Cycle::new(now),
+                };
+                let _ = e.persist(req, &mut h.ctx());
+            }
+        }
+    };
+    drive_seq(&mut h, &mut seq, WARM_ROUNDS);
+    let n = count_allocs(|| drive_seq(&mut h, &mut seq, MEASURED_ROUNDS));
+    assert_eq!(n, 0, "sequential persist allocated {n} times in steady state");
+
+    let mut h = Harness::new();
+    let mut pipe = PipelinedEngine::new(Cycle::new(40), 9, 64);
+    let mut now = 0u64;
+    let mut drive_pipe = |h: &mut Harness, e: &mut PipelinedEngine, rounds: u64| {
+        for _ in 0..rounds {
+            for i in 0..PAGES {
+                now += 5;
+                let req = UpdateRequest {
+                    leaf: h.geometry.leaf(i * 13 % 4096),
+                    now: Cycle::new(now),
+                };
+                let _ = e.persist(req, &mut h.ctx());
+            }
+        }
+    };
+    drive_pipe(&mut h, &mut pipe, WARM_ROUNDS);
+    let n = count_allocs(|| drive_pipe(&mut h, &mut pipe, MEASURED_ROUNDS));
+    assert_eq!(n, 0, "pipelined persist allocated {n} times in steady state");
+
+    let mut h = Harness::new();
+    let mut o3 = OooEngine::new(Cycle::new(40), 9, 2);
+    let mut now = 0u64;
+    let mut drive_o3 = |h: &mut Harness, e: &mut OooEngine, rounds: u64| {
+        for _ in 0..rounds {
+            for i in 0..PAGES {
+                now += 5;
+                let req = UpdateRequest {
+                    leaf: h.geometry.leaf(i * 13 % 4096),
+                    now: Cycle::new(now),
+                };
+                let _ = e.persist(req, &mut h.ctx());
+            }
+        }
+    };
+    drive_o3(&mut h, &mut o3, WARM_ROUNDS);
+    let n = count_allocs(|| drive_o3(&mut h, &mut o3, MEASURED_ROUNDS));
+    assert_eq!(n, 0, "o3 persist allocated {n} times in steady state");
+
+    let mut h = Harness::new();
+    let mut co = CoalescingEngine::new(Cycle::new(40), 9, 2);
+    let mut now = 0u64;
+    let mut drive_co = |h: &mut Harness, e: &mut CoalescingEngine, rounds: u64| {
+        for _ in 0..rounds {
+            for i in 0..PAGES {
+                now += 5;
+                let req = UpdateRequest {
+                    leaf: h.geometry.leaf(i * 13 % 4096),
+                    now: Cycle::new(now),
+                };
+                let _ = e.persist(req, &mut h.ctx());
+            }
+        }
+    };
+    drive_co(&mut h, &mut co, WARM_ROUNDS);
+    let n = count_allocs(|| drive_co(&mut h, &mut co, MEASURED_ROUNDS));
+    assert_eq!(n, 0, "coalescing persist allocated {n} times in steady state");
+}

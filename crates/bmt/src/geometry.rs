@@ -137,6 +137,22 @@ impl BmtGeometry {
         self.arity.pow(level - 1)
     }
 
+    /// The per-level container slot for 1-based `level` — the index
+    /// into level-major arrays such as the tree's default table.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `level` is out of range.
+    pub fn level_slot(&self, level: u32) -> usize {
+        debug_assert!(
+            (1..=self.levels).contains(&level),
+            "level {level} out of 1..={}",
+            self.levels
+        );
+        // lint: allow(narrowing-cast) u32 to usize is lossless on every supported (>=32-bit) target
+        (level - 1) as usize
+    }
+
     /// Bytes of memory protected by this tree (leaves × page size).
     pub fn covered_bytes(&self) -> u64 {
         self.leaf_count() * PAGE_SIZE as u64

@@ -69,16 +69,22 @@ impl BmtGeometry {
     }
 
     /// The 1-based level of `node` (root = 1, leaves = `levels`).
+    ///
+    /// A node at level `l` has `raw ∈ [(aˡ⁻¹−1)/(a−1), (aˡ−1)/(a−1))`,
+    /// so `raw·(a−1)+1 ∈ [aˡ⁻¹, aˡ)` and the level is one integer
+    /// logarithm — a single `lzcnt` for power-of-two arities — instead
+    /// of the per-level accumulation loop this replaced. Engines call
+    /// this once per node update, so it sits on the persist hot path.
     pub fn level(&self, node: NodeLabel) -> u32 {
-        let mut level = 1;
-        let mut first_next = 1; // first label of level 2
-        let mut width = self.arity();
-        while node.raw() >= first_next {
-            first_next += width;
-            width *= self.arity();
-            level += 1;
+        let x = node
+            .raw()
+            .saturating_mul(self.arity() - 1)
+            .saturating_add(1);
+        if self.arity().is_power_of_two() {
+            x.ilog2() / self.arity().ilog2() + 1
+        } else {
+            x.ilog(self.arity()) + 1
         }
-        level
     }
 
     /// The 0-based level of `node` as a container index
@@ -117,15 +123,66 @@ impl BmtGeometry {
 
     /// The update path from `leaf` to the root, inclusive, ordered
     /// leaf-first (the order persists walk the tree in).
+    ///
+    /// Allocates a fresh `Vec`; hot paths use
+    /// [`BmtGeometry::update_path_into`] with a reused scratch buffer
+    /// instead.
     pub fn update_path(&self, leaf: NodeLabel) -> Vec<NodeLabel> {
         let mut path = Vec::with_capacity(self.levels_usize());
+        self.update_path_into(leaf, &mut path);
+        path
+    }
+
+    /// Writes the leaf-first update path of `leaf` into `path`
+    /// (cleared first) without allocating once `path` has capacity —
+    /// the scratch-buffer form engines thread through
+    /// `EngineCtx::walk`.
+    pub fn update_path_into(&self, leaf: NodeLabel, path: &mut Vec<NodeLabel>) {
+        path.clear();
         let mut node = leaf;
         path.push(node);
         while let Some(p) = self.parent(node) {
             path.push(p);
             node = p;
         }
-        path
+    }
+
+    /// Allocation-free leaf-to-root walk: yields each node on `node`'s
+    /// update path together with its 1-based level, `node` first and
+    /// root last. This is the persist hot path's walk — engines consume
+    /// the `(label, level)` pairs directly instead of materializing the
+    /// path into a `Vec` and re-deriving each node's level.
+    pub fn walk_up(&self, node: NodeLabel) -> impl Iterator<Item = (NodeLabel, u32)> {
+        let arity = self.arity();
+        let mut cur = Some((node.raw(), self.level(node)));
+        std::iter::from_fn(move || {
+            let (raw, level) = cur?;
+            cur = if raw == 0 {
+                None
+            } else {
+                Some(((raw - 1) / arity, level - 1))
+            };
+            Some((NodeLabel::new(raw), level))
+        })
+    }
+
+    /// The ancestor of `node` at 1-based `level` (which must not be
+    /// deeper than `node`'s own level), in O(1) index arithmetic: the
+    /// in-level index of the ancestor `k` levels up is the node's
+    /// in-level index divided by `arity^k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or below `node`'s level.
+    pub fn ancestor_at_level(&self, node: NodeLabel, level: u32) -> NodeLabel {
+        let node_level = self.level(node);
+        assert!(
+            (1..=node_level).contains(&level),
+            "level {level} is not an ancestor level of a level-{node_level} node"
+        );
+        let idx = node.raw() - self.level_offset(node_level);
+        let lifted = idx / self.arity().pow(node_level - level);
+        NodeLabel(self.level_offset(level) + lifted)
     }
 
     /// All strict ancestors of `node`, nearest first, ending at the
@@ -142,33 +199,33 @@ impl BmtGeometry {
 
     /// The least common ancestor of two nodes (§IV-B2: the coalescing
     /// point of two persists). The LCA of a node with itself is itself.
+    ///
+    /// Index arithmetic instead of the lock-step parent walk this
+    /// replaced: both nodes lift to their common level by one division,
+    /// and for power-of-two arities the number of remaining shared
+    /// divisions falls out of the highest differing bit of the two
+    /// in-level indices — O(1), which is what lets the coalescing
+    /// engine compute a junction per persist without touching memory.
     pub fn lca(&self, a: NodeLabel, b: NodeLabel) -> NodeLabel {
-        // Total by construction: the deeper node always has a parent
-        // (its level exceeds the other's, so it is not the root), and
-        // the lock-step walk meets at the root at the latest.
-        let (mut a, mut b) = (a, b);
-        let (mut la, mut lb) = (self.level(a), self.level(b));
-        while la > lb {
-            match self.parent(a) {
-                Some(p) => a = p,
-                None => return NodeLabel::ROOT,
-            }
-            la -= 1;
-        }
-        while lb > la {
-            match self.parent(b) {
-                Some(p) => b = p,
-                None => return NodeLabel::ROOT,
-            }
-            lb -= 1;
-        }
-        while a != b {
-            match (self.parent(a), self.parent(b)) {
-                (Some(pa), Some(pb)) => (a, b) = (pa, pb),
-                _ => return NodeLabel::ROOT,
+        let (la, lb) = (self.level(a), self.level(b));
+        let common = la.min(lb);
+        let mut ia = (a.raw() - self.level_offset(la)) / self.arity().pow(la - common);
+        let mut ib = (b.raw() - self.level_offset(lb)) / self.arity().pow(lb - common);
+        let mut level = common;
+        if self.arity().is_power_of_two() {
+            let shift = self.arity().ilog2();
+            let diff_bits = 64 - (ia ^ ib).leading_zeros();
+            let lifts = diff_bits.div_ceil(shift);
+            ia >>= lifts * shift;
+            level -= lifts;
+        } else {
+            while ia != ib {
+                ia /= self.arity();
+                ib /= self.arity();
+                level -= 1;
             }
         }
-        a
+        NodeLabel(self.level_offset(level) + ia)
     }
 
     /// Number of update-path node updates *saved* when persists to `a`
@@ -189,6 +246,22 @@ mod tests {
     fn g() -> BmtGeometry {
         // Fig. 1's shape: 8-ary, 4 levels (X1 root .. X4 leaves).
         BmtGeometry::new(8, 4)
+    }
+
+    #[test]
+    fn walk_up_matches_update_path_with_levels() {
+        let g = g();
+        for page in [0, 7, 311, 511] {
+            let leaf = g.leaf(page);
+            let pairs: Vec<_> = g.walk_up(leaf).collect();
+            let path = g.update_path(leaf);
+            assert_eq!(pairs.len(), path.len());
+            for (i, (label, level)) in pairs.iter().enumerate() {
+                assert_eq!(*label, path[i]);
+                assert_eq!(*level, g.level(*label));
+            }
+            assert_eq!(pairs.last(), Some(&(NodeLabel::ROOT, 1)));
+        }
     }
 
     #[test]
@@ -281,6 +354,67 @@ mod tests {
         assert_eq!(g.coalesced_savings(g.leaf(0), g.leaf(1)), 3);
         // LCA at root -> only the root update is saved.
         assert_eq!(g.coalesced_savings(g.leaf(0), g.leaf(511)), 1);
+    }
+
+    #[test]
+    fn ancestor_at_level_matches_parent_walk() {
+        let g = g();
+        for page in [0u64, 1, 63, 100, 511] {
+            let leaf = g.leaf(page);
+            let mut node = leaf;
+            for level in (1..=g.levels()).rev() {
+                assert_eq!(g.ancestor_at_level(leaf, level), node, "page {page} level {level}");
+                if let Some(p) = g.parent(node) {
+                    node = p;
+                }
+            }
+        }
+        // A node is its own ancestor at its own level.
+        let mid = NodeLabel::new(5);
+        assert_eq!(g.ancestor_at_level(mid, 2), mid);
+        assert_eq!(g.ancestor_at_level(mid, 1), NodeLabel::ROOT);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an ancestor level")]
+    fn ancestor_below_node_rejected() {
+        let g = g();
+        let _ = g.ancestor_at_level(NodeLabel::ROOT, 2);
+    }
+
+    #[test]
+    fn update_path_into_reuses_buffer() {
+        let g = g();
+        let mut scratch = Vec::new();
+        g.update_path_into(g.leaf(9), &mut scratch);
+        assert_eq!(scratch, g.update_path(g.leaf(9)));
+        let cap = scratch.capacity();
+        g.update_path_into(g.leaf(200), &mut scratch);
+        assert_eq!(scratch, g.update_path(g.leaf(200)));
+        assert_eq!(scratch.capacity(), cap, "refill must not reallocate");
+    }
+
+    #[test]
+    fn non_power_of_two_arity_agrees_with_parent_walk() {
+        // The lca/level fast paths branch on power-of-two arity; pin
+        // the general-arity branch against first principles.
+        let g = BmtGeometry::new(3, 4);
+        for raw in 0..g.node_count() {
+            let node = NodeLabel::new(raw);
+            let mut expect = 1;
+            let mut first_next = 1;
+            let mut width = g.arity();
+            while raw >= first_next {
+                first_next += width;
+                width *= g.arity();
+                expect += 1;
+            }
+            assert_eq!(g.level(node), expect, "level of n{raw}");
+        }
+        let (a, b) = (g.leaf(0), g.leaf(2));
+        assert_eq!(g.lca(a, b), g.parent(a).unwrap());
+        assert_eq!(g.lca(g.leaf(0), g.leaf(26)), NodeLabel::ROOT);
+        assert_eq!(g.lca(a, a), a);
     }
 
     #[test]

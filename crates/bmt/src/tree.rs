@@ -1,17 +1,20 @@
-//! The sparse functional Bonsai Merkle Tree.
+//! The arena-backed functional Bonsai Merkle Tree.
 //!
 //! The tree covers one counter block per leaf (one 4 KiB encryption
-//! page). Only nodes that differ from the all-fresh-counters state are
-//! stored; every level has a memoized *default* value, so an 8-ary,
-//! 9-level tree (16.7M leaves) costs memory proportional only to the
-//! touched working set.
+//! page). Node storage is a dense, level-major arena indexed directly
+//! by the breadth-first label — the labelling of `crate::label` makes
+//! `label.raw()` *itself* the arena index, so a node lookup is one
+//! bitmap test and one array read with no hashing and no probing.
+//! Only nodes that differ from the all-fresh-counters state are
+//! *occupied*; every level has a memoized *default* value, so an
+//! 8-ary, 9-level tree (16.7M leaves) still behaves sparsely: the
+//! arena's zeroed pages stay untouched (and physically unmapped, via
+//! the allocator's zeroed-page path) until a node is first written.
 //!
 //! This is the *functional* half of the BMT: it answers "what is the
 //! root after these counter updates" and "is this tree internally
 //! consistent". The *timing* half (who updates which node when, and in
 //! what order) lives in the engine models of `plp-core`.
-
-use std::collections::HashMap;
 
 use plp_crypto::{CounterBlock, SipKey};
 use serde::{Deserialize, Serialize};
@@ -21,7 +24,90 @@ use crate::{BmtGeometry, NodeLabel};
 /// An 8-byte BMT node value ("64B to 8B hash", Fig. 1).
 pub type NodeValue = u64;
 
-/// A sparse, keyed Bonsai Merkle Tree over counter blocks.
+/// A `u64` arena index as a container index. The arena length is the
+/// geometry's node count, which [`BmtGeometry::new`] validated fits.
+fn arena_slot(raw: u64) -> usize {
+    // lint: allow(narrowing-cast) arena indices are node labels, validated to fit by the geometry constructor
+    raw as usize
+}
+
+/// Dense, level-major node storage: one value slot per node label plus
+/// an occupancy bitmap. Unoccupied slots read as the level default —
+/// the lazy-default semantics the old map-backed store provided, kept
+/// without the per-node hash-and-probe.
+#[derive(Clone, Serialize, Deserialize)]
+struct NodeArena {
+    /// One slot per node, indexed by `NodeLabel::raw`.
+    values: Vec<NodeValue>,
+    /// One bit per node: whether `values[i]` holds an explicit value.
+    occupied: Vec<u64>,
+    /// Number of set occupancy bits.
+    populated: usize,
+}
+
+impl NodeArena {
+    fn new(node_count: u64) -> Self {
+        let len = arena_slot(node_count);
+        NodeArena {
+            // `vec![0; n]` takes the allocator's zeroed-page path, so
+            // the arena costs address space, not resident memory,
+            // until nodes are actually written.
+            values: vec![0; len],
+            occupied: vec![0; len.div_ceil(64)],
+            populated: 0,
+        }
+    }
+
+    #[inline]
+    fn get(&self, label: NodeLabel) -> Option<NodeValue> {
+        let i = arena_slot(label.raw());
+        if self.occupied[i >> 6] & (1u64 << (i & 63)) != 0 {
+            Some(self.values[i])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, label: NodeLabel, value: NodeValue) {
+        let i = arena_slot(label.raw());
+        let (word, bit) = (i >> 6, 1u64 << (i & 63));
+        if self.occupied[word] & bit == 0 {
+            self.occupied[word] |= bit;
+            self.populated += 1;
+        }
+        self.values[i] = value;
+    }
+
+    /// Occupied labels in descending raw order — deepest level first,
+    /// which is the order the consistency check wants.
+    fn labels_deepest_first(&self) -> impl Iterator<Item = NodeLabel> + '_ {
+        self.occupied
+            .iter()
+            .enumerate()
+            .rev()
+            .filter(|(_, word)| **word != 0)
+            .flat_map(|(w, word)| {
+                (0u64..64)
+                    .rev()
+                    .filter(move |bit| word & (1u64 << bit) != 0)
+                    .map(move |bit| NodeLabel::new((w as u64) * 64 + bit))
+            })
+    }
+}
+
+impl std::fmt::Debug for NodeArena {
+    /// Compact: a 19M-slot arena must not dump into debug output.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeArena")
+            .field("slots", &self.values.len())
+            .field("populated", &self.populated)
+            .finish()
+    }
+}
+
+/// A keyed Bonsai Merkle Tree over counter blocks, stored in a dense
+/// level-major arena with lazy per-level defaults.
 ///
 /// # Example
 ///
@@ -35,17 +121,26 @@ pub type NodeValue = u64;
 ///
 /// let mut cb = CounterBlock::new();
 /// cb.bump(0);
-/// let path = tree.update_leaf(5, &cb);
-/// assert_eq!(path.len(), 4); // leaf, two internals, root
+/// let root_after = tree.update_leaf(5, &cb);
+/// assert_eq!(root_after, tree.root());
 /// assert_ne!(tree.root(), root_before);
+///
+/// // The explicit update path, for callers that want the labels:
+/// let mut path = Vec::new();
+/// tree.update_leaf_into(5, &cb, &mut path);
+/// assert_eq!(path.len(), 4); // leaf, two internals, root
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BonsaiTree {
     geometry: BmtGeometry,
     key: SipKey,
-    nodes: HashMap<NodeLabel, NodeValue>,
+    store: NodeArena,
     /// Default node value per 1-based level (index `level - 1`).
     defaults: Vec<NodeValue>,
+    /// Reusable arity-sized buffer for gathering a node's children
+    /// before hashing — the allocation the per-update child `Vec`s of
+    /// the map-backed store used to pay nine times per persist.
+    child_scratch: Vec<NodeValue>,
 }
 
 impl BonsaiTree {
@@ -63,8 +158,9 @@ impl BonsaiTree {
         BonsaiTree {
             geometry,
             key,
-            nodes: HashMap::new(),
+            store: NodeArena::new(geometry.node_count()),
             defaults,
+            child_scratch: vec![0; geometry.arity_usize()],
         }
     }
 
@@ -95,15 +191,15 @@ impl BonsaiTree {
 
     /// The value of any node (stored or default).
     pub fn node_value(&self, label: NodeLabel) -> NodeValue {
-        if let Some(&v) = self.nodes.get(&label) {
-            return v;
+        match self.store.get(label) {
+            Some(v) => v,
+            None => self.defaults[self.geometry.level_index(label)],
         }
-        self.defaults[self.geometry.level_index(label)]
     }
 
     /// Number of explicitly stored (non-default) nodes.
     pub fn populated_nodes(&self) -> usize {
-        self.nodes.len()
+        self.store.populated
     }
 
     fn leaf_value_with(key: SipKey, cb: &CounterBlock) -> NodeValue {
@@ -127,29 +223,74 @@ impl BonsaiTree {
     }
 
     /// Applies a counter-block update at `page`, recomputing the leaf
-    /// and every ancestor up to the root.
-    ///
-    /// Returns the update path as `(label, new_value)` pairs ordered
-    /// leaf-first — exactly the per-level work the timing engines
-    /// schedule (one MAC computation per entry).
+    /// and every ancestor up to the root, and returns the new root
+    /// value. Allocation-free: children gather into the tree's own
+    /// scratch buffer and ancestors come from index arithmetic (the
+    /// children of node `n` are the contiguous labels
+    /// `n·arity+1 ..= n·arity+arity`).
     ///
     /// # Panics
     ///
     /// Panics if `page` is outside the tree's coverage.
-    pub fn update_leaf(&mut self, page: u64, cb: &CounterBlock) -> Vec<(NodeLabel, NodeValue)> {
+    pub fn update_leaf(&mut self, page: u64, cb: &CounterBlock) -> NodeValue {
         let leaf = self.geometry.leaf(page);
-        let mut path = Vec::with_capacity(self.geometry.levels_usize());
-        let leaf_val = self.leaf_value(cb);
-        self.nodes.insert(leaf, leaf_val);
-        path.push((leaf, leaf_val));
-        let mut cur = leaf;
-        while let Some(parent) = self.geometry.parent(cur) {
-            let val = self.recompute_internal(parent);
-            self.nodes.insert(parent, val);
-            path.push((parent, val));
+        let leaf_val = Self::leaf_value_with(self.key, cb);
+        let BonsaiTree {
+            geometry,
+            key,
+            store,
+            defaults,
+            child_scratch,
+        } = self;
+        store.set(leaf, leaf_val);
+        let arity = geometry.arity();
+        let mut cur = leaf.raw();
+        let mut val = leaf_val;
+        // The leaf sits at level `levels`; each parent is one shallower.
+        let mut child_level = geometry.levels();
+        while cur != 0 {
+            let parent = (cur - 1) / arity;
+            let first_child = parent * arity + 1;
+            let child_default = defaults[geometry.level_slot(child_level)];
+            for (i, slot) in child_scratch.iter_mut().enumerate() {
+                *slot = store
+                    .get(NodeLabel::new(first_child + i as u64))
+                    .unwrap_or(child_default);
+            }
+            val = Self::internal_value_with(*key, child_scratch);
+            store.set(NodeLabel::new(parent), val);
             cur = parent;
+            child_level -= 1;
         }
-        path
+        val
+    }
+
+    /// Like [`BonsaiTree::update_leaf`], but also records the update
+    /// path as `(label, new_value)` pairs ordered leaf-first into
+    /// `path` (cleared first) — exactly the per-level work the timing
+    /// engines schedule (one MAC computation per entry). Returns the
+    /// new root value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the tree's coverage.
+    pub fn update_leaf_into(
+        &mut self,
+        page: u64,
+        cb: &CounterBlock,
+        path: &mut Vec<(NodeLabel, NodeValue)>,
+    ) -> NodeValue {
+        let root = self.update_leaf(page, cb);
+        path.clear();
+        let mut node = self.geometry.leaf(page);
+        loop {
+            path.push((node, self.node_value(node)));
+            match self.geometry.parent(node) {
+                Some(p) => node = p,
+                None => break,
+            }
+        }
+        root
     }
 
     /// Overwrites a single node value without updating ancestors.
@@ -158,7 +299,7 @@ impl BonsaiTree {
     /// persists) and active tampering; the integrity checks exist to
     /// catch exactly the states this method can create.
     pub fn set_node(&mut self, label: NodeLabel, value: NodeValue) {
-        self.nodes.insert(label, value);
+        self.store.set(label, value);
     }
 
     /// Checks that every stored internal node equals the hash of its
@@ -168,16 +309,13 @@ impl BonsaiTree {
     ///
     /// Returns the lowest-level inconsistent node.
     pub fn verify_consistent(&self) -> Result<(), IntegrityError> {
-        // Check deepest levels first so the error points at the lowest
+        // The arena iterates occupied labels in descending raw order —
+        // deepest levels first — so the error points at the lowest
         // inconsistency (most useful for diagnosing ordering bugs).
-        let mut labels: Vec<_> = self
-            .nodes
-            .keys()
-            .copied()
-            .filter(|l| self.geometry.level(*l) < self.geometry.levels())
-            .collect();
-        labels.sort_by_key(|l| std::cmp::Reverse(self.geometry.level(*l)));
-        for label in labels {
+        for label in self.store.labels_deepest_first() {
+            if self.geometry.level(label) >= self.geometry.levels() {
+                continue;
+            }
             if self.recompute_internal(label) != self.node_value(label) {
                 return Err(IntegrityError { node: label });
             }
@@ -260,15 +398,34 @@ mod tests {
     #[test]
     fn update_path_is_leaf_to_root() {
         let mut t = tree();
-        let path = t.update_leaf(0, &bumped(&[0]));
+        let mut path = Vec::new();
+        let root = t.update_leaf_into(0, &bumped(&[0]), &mut path);
         let g = t.geometry();
         assert_eq!(path.len(), 4);
         assert_eq!(g.level(path[0].0), 4);
         assert_eq!(path[3].0, NodeLabel::ROOT);
+        assert_eq!(path[3].1, root);
+        assert_eq!(root, t.root());
         for w in path.windows(2) {
             assert_eq!(g.parent(w[0].0), Some(w[1].0));
         }
+        for (label, value) in &path {
+            assert_eq!(t.node_value(*label), *value);
+        }
         assert!(t.verify_consistent().is_ok());
+    }
+
+    #[test]
+    fn update_counts_each_path_node_once() {
+        let mut t = tree();
+        t.update_leaf(0, &bumped(&[0]));
+        assert_eq!(t.populated_nodes(), 4);
+        // Re-updating the same leaf repopulates the same nodes.
+        t.update_leaf(0, &bumped(&[0, 1]));
+        assert_eq!(t.populated_nodes(), 4);
+        // A disjoint subtree shares only the root.
+        t.update_leaf(511, &bumped(&[2]));
+        assert_eq!(t.populated_nodes(), 7);
     }
 
     #[test]
@@ -354,5 +511,26 @@ mod tests {
         let mut direct = tree();
         direct.update_leaf(4, &final_cb);
         assert_eq!(t.root(), direct.root());
+    }
+
+    #[test]
+    fn paper_default_geometry_tree_is_cheap_to_build() {
+        // The 8-ary 9-level arena reserves 19M slots but must not touch
+        // them: construction and a handful of updates stay fast and the
+        // populated count tracks only explicit nodes.
+        let mut t = BonsaiTree::new(BmtGeometry::default(), SipKey::new(1, 2));
+        assert_eq!(t.populated_nodes(), 0);
+        t.update_leaf(0, &bumped(&[0]));
+        t.update_leaf(16_777_215, &bumped(&[1]));
+        assert_eq!(t.populated_nodes(), 2 * 9 - 1);
+        assert!(t.verify_consistent().is_ok());
+    }
+
+    #[test]
+    fn debug_output_is_compact() {
+        let t = tree();
+        let dbg = format!("{t:?}");
+        assert!(dbg.len() < 500, "debug dump leaked the arena: {} bytes", dbg.len());
+        assert!(dbg.contains("populated"));
     }
 }

@@ -3,7 +3,7 @@
 use plp_bmt::NodeLabel;
 use plp_events::Cycle;
 
-use super::{level_slot, EngineCtx, OooEngine, UpdateRequest};
+use super::{EngineCtx, OooEngine, UpdateRequest};
 
 /// The chained-handoff persist awaiting its shared-suffix walk.
 #[derive(Debug, Clone, Copy)]
@@ -71,12 +71,20 @@ impl CoalescingEngine {
         if carrier.suffix_from < to_level || carrier.suffix_from == 0 {
             return t;
         }
-        let path = ctx.geometry.update_path(carrier.leaf);
-        // path is leaf-first: index i holds the node at level L - i.
+        // One O(1) ancestor lift to the suffix's deepest node, then a
+        // parent step per committed level — no materialized path.
+        let mut node = ctx
+            .geometry
+            .ancestor_at_level(carrier.leaf, carrier.suffix_from);
         for level in (to_level..=carrier.suffix_from).rev() {
-            let node = path[level_slot(self.levels - level)];
             let gate = if level == to_level { t.max(extra_gate) } else { t };
-            t = self.inner.update_node(node, gate, ctx);
+            t = self.inner.update_node(node, level, gate, ctx);
+            if level > to_level {
+                node = match ctx.geometry.parent(node) {
+                    Some(p) => p,
+                    None => break,
+                };
+            }
         }
         t
     }
@@ -115,9 +123,11 @@ impl CoalescingEngine {
 
         // This persist walks its own nodes strictly below the LCA.
         let mut own_done = now;
-        let path = ctx.geometry.update_path(req.leaf);
-        for node in &path[..level_slot(self.levels - lca_level)] {
-            own_done = self.inner.update_node(*node, own_done, ctx);
+        for (node, level) in ctx.geometry.walk_up(req.leaf) {
+            if level <= lca_level {
+                break;
+            }
+            own_done = self.inner.update_node(node, level, own_done, ctx);
         }
         // The carrier commits down to the LCA, whose update must also
         // wait for this persist's sub-LCA work.

@@ -42,9 +42,9 @@ impl CounterTreeEngine {
     pub fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
         let mut t = req.now.max(self.busy_until);
         let mut path_durable = t;
-        for label in ctx.geometry.update_path(req.leaf) {
+        for (label, level) in ctx.geometry.walk_up(req.leaf) {
             t = ctx.node_ready(label, t) + self.mac_latency;
-            ctx.note_update(label, t);
+            ctx.note_update(label, level, t);
             // Every node on the path must persist (shadow-copy writes
             // in a real design; modelled as posted NVM writes whose
             // completion gates the persist).

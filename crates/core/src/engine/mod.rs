@@ -78,21 +78,24 @@ pub struct EngineCtx<'a> {
     /// [`crate::sanitizer`]). `None` when the sanitizer is off — the
     /// tap then costs one branch per update.
     pub tap: Option<&'a mut Vec<NodeUpdateEvent>>,
+    /// Reusable label scratch, owned by the simulation so engines that
+    /// need a materialized update path (the mutant's reverse walk)
+    /// borrow it instead of allocating one per persist.
+    pub walk: &'a mut Vec<NodeLabel>,
 }
 
 impl EngineCtx<'_> {
     /// Records one scheduled BMT node update completing at `done`:
     /// bumps the statistics counter and, when the sanitizer is
     /// listening, pushes the event onto the tap. Every engine reports
-    /// each node update through this single point.
-    pub fn note_update(&mut self, label: NodeLabel, done: Cycle) {
+    /// each node update through this single point, passing the level
+    /// it already tracks for its own scheduling — recomputing it here
+    /// per update would put label arithmetic back on the hot path.
+    pub fn note_update(&mut self, label: NodeLabel, level: u32, done: Cycle) {
+        debug_assert_eq!(level, self.geometry.level(label));
         self.stats.node_updates += 1;
         if let Some(tap) = self.tap.as_deref_mut() {
-            tap.push(NodeUpdateEvent {
-                label,
-                level: self.geometry.level(label),
-                done,
-            });
+            tap.push(NodeUpdateEvent { label, level, done });
         }
     }
 
@@ -265,6 +268,7 @@ pub(crate) mod testutil {
         pub nvm: NvmDevice,
         pub stats: EngineStats,
         pub tap: Vec<NodeUpdateEvent>,
+        pub walk: Vec<NodeLabel>,
     }
 
     impl CtxHarness {
@@ -278,6 +282,7 @@ pub(crate) mod testutil {
                 nvm: NvmDevice::new(NvmConfig::paper_default()),
                 stats: EngineStats::default(),
                 tap: Vec::new(),
+                walk: Vec::new(),
             }
         }
 
@@ -296,6 +301,7 @@ pub(crate) mod testutil {
                 nvm: &mut self.nvm,
                 stats: &mut self.stats,
                 tap: None,
+                walk: &mut self.walk,
             }
         }
 
@@ -309,6 +315,7 @@ pub(crate) mod testutil {
                 nvm: &mut self.nvm,
                 stats: &mut self.stats,
                 tap: Some(&mut self.tap),
+                walk: &mut self.walk,
             }
         }
 

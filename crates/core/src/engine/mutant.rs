@@ -69,17 +69,18 @@ impl MutantEngine {
     fn update_node(
         &mut self,
         label: plp_bmt::NodeLabel,
+        level: u32,
         at: Cycle,
         ctx: &mut EngineCtx<'_>,
     ) -> Cycle {
-        let slot = ctx.geometry.level_index(label);
+        let slot = level_slot(level - 1);
         let gate = match self.mutation {
             // The planted bug: skip the cross-epoch authorization.
             Mutation::IgnoreEpochGate => at,
             _ => at.max(self.prev_epoch_level_done[slot]),
         };
         let done = ctx.node_ready(label, gate) + self.mac_latency;
-        ctx.note_update(label, done);
+        ctx.note_update(label, level, done);
         self.cur_epoch_level_max[slot] = self.cur_epoch_level_max[slot].max(done);
         done
     }
@@ -87,26 +88,32 @@ impl MutantEngine {
 
 impl UpdateEngine for MutantEngine {
     fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
-        let path = ctx.geometry.update_path(req.leaf);
         let mut t = req.now;
         match self.mutation {
             Mutation::SkipLevel(skip) => {
-                for label in path {
-                    if ctx.geometry.level(label) == skip {
+                for (label, level) in ctx.geometry.walk_up(req.leaf) {
+                    if level == skip {
                         continue; // the planted bug
                     }
-                    t = self.update_node(label, t, ctx);
+                    t = self.update_node(label, level, t, ctx);
                 }
             }
             Mutation::ReverseWalk => {
-                for label in path.into_iter().rev() {
-                    // the planted bug: root first
-                    t = self.update_node(label, t, ctx);
+                // The planted bug: root first. The only walk that needs
+                // a materialized path — borrowed from the simulation's
+                // shared scratch, not allocated.
+                let mut path = std::mem::take(ctx.walk);
+                ctx.geometry.update_path_into(req.leaf, &mut path);
+                let levels = ctx.geometry.levels();
+                for level in 1..=levels {
+                    let label = path[level_slot(levels - level)];
+                    t = self.update_node(label, level, t, ctx);
                 }
+                *ctx.walk = path;
             }
             Mutation::IgnoreEpochGate | Mutation::RegressSeal => {
-                for label in path {
-                    t = self.update_node(label, t, ctx);
+                for (label, level) in ctx.geometry.walk_up(req.leaf) {
+                    t = self.update_node(label, level, t, ctx);
                 }
             }
         }

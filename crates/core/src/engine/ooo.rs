@@ -54,25 +54,27 @@ impl OooEngine {
     /// (persists of the same epoch complete in any order).
     pub fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
         let mut t = req.now.max(self.epoch_floor);
-        for label in ctx.geometry.update_path(req.leaf) {
-            t = self.update_node(label, t, ctx);
+        for (label, level) in ctx.geometry.walk_up(req.leaf) {
+            t = self.update_node(label, level, t, ctx);
         }
         t
     }
 
     /// Schedules one node update at `at` under the epoch's constraints;
-    /// shared with the coalescing engine.
+    /// shared with the coalescing engine. Callers pass the level they
+    /// already track for the walk.
     pub(super) fn update_node(
         &mut self,
         label: plp_bmt::NodeLabel,
+        level: u32,
         at: Cycle,
         ctx: &mut EngineCtx<'_>,
     ) -> Cycle {
-        let slot = ctx.geometry.level_index(label);
+        let slot = level_slot(level - 1);
         let gate = at.max(self.prev_epoch_level_done[slot]);
         let ready = ctx.node_ready(label, gate);
         let done = ready + self.mac_latency;
-        ctx.note_update(label, done);
+        ctx.note_update(label, level, done);
         self.cur_epoch_level_max[slot] = self.cur_epoch_level_max[slot].max(done);
         done
     }

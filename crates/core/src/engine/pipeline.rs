@@ -40,7 +40,9 @@ impl PipelinedEngine {
         PipelinedEngine {
             mac_latency,
             level_free: vec![Cycle::ZERO; level_slot(levels)],
-            inflight: VecDeque::new(),
+            // Admission caps occupancy at ptt_entries (+1 transient),
+            // so one reservation makes the PTT allocation-free.
+            inflight: VecDeque::with_capacity(ptt_entries + 1),
             ptt_entries,
         }
     }
@@ -63,15 +65,15 @@ impl PipelinedEngine {
     /// time.
     pub fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
         let mut t = self.ptt_admission(req.now);
-        for label in ctx.geometry.update_path(req.leaf) {
-            let slot = ctx.geometry.level_index(label);
+        for (label, level) in ctx.geometry.walk_up(req.leaf) {
+            let slot = level_slot(level - 1);
             // Stage entry: after our previous stage and after the older
             // persist has left this level (in-order guarantee).
             let gate = t.max(self.level_free[slot]);
             let start = ctx.node_ready(label, gate);
             let done = start + self.mac_latency;
             self.level_free[slot] = done;
-            ctx.note_update(label, done);
+            ctx.note_update(label, level, done);
             t = done;
         }
         self.inflight.push_back(t);

@@ -30,9 +30,9 @@ impl SequentialEngine {
     /// time.
     pub fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
         let mut t = req.now.max(self.busy_until);
-        for label in ctx.geometry.update_path(req.leaf) {
+        for (label, level) in ctx.geometry.walk_up(req.leaf) {
             t = ctx.node_ready(label, t) + self.mac_latency;
-            ctx.note_update(label, t);
+            ctx.note_update(label, level, t);
         }
         self.busy_until = t;
         t

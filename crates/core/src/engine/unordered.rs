@@ -36,9 +36,9 @@ impl UnorderedEngine {
     /// root-update time (no ordering with other persists).
     pub fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
         let mut t = req.now;
-        for label in ctx.geometry.update_path(req.leaf) {
+        for (label, level) in ctx.geometry.walk_up(req.leaf) {
             t = ctx.node_ready(label, t) + self.mac_latency;
-            ctx.note_update(label, t);
+            ctx.note_update(label, level, t);
         }
         self.drained = self.drained.max(t);
         t

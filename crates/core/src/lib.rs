@@ -42,6 +42,7 @@ mod config;
 pub mod engine;
 mod error;
 pub mod fault;
+mod fastmap;
 pub mod meta;
 mod recovery;
 mod report;

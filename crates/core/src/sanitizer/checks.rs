@@ -1,6 +1,5 @@
 //! The sanitizer's state machine: per-event invariant checks.
 
-use std::collections::HashMap;
 
 use plp_bmt::BmtGeometry;
 use plp_events::Cycle;
@@ -332,28 +331,9 @@ impl Sanitizer {
 
 /// The WAW tracker does one map operation per node update, which puts
 /// the default SipHash hasher on the simulator's hot path; node labels
-/// are already well-mixed `u64`s, so a single Fibonacci multiply
-/// suffices and keeps the sanitizer's overhead in budget.
-#[derive(Debug, Default)]
-struct LabelHasher(u64);
-
-impl std::hash::Hasher for LabelHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    }
-}
-
-type LabelMap = HashMap<u64, (EpochId, Cycle), std::hash::BuildHasherDefault<LabelHasher>>;
+/// are already well-mixed `u64`s, so the shared Fibonacci-multiply
+/// hasher suffices and keeps the sanitizer's overhead in budget.
+type LabelMap = crate::fastmap::FastMap<u64, (EpochId, Cycle)>;
 
 /// 1-based tree level → vector index, `None` when out of range.
 fn level_index(level: u32, levels: u32) -> Option<usize> {

@@ -9,9 +9,9 @@
 //! statistics, and is `Send`, so independent runs can execute on worker
 //! threads.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
-use plp_bmt::BonsaiTree;
+use plp_bmt::{BonsaiTree, NodeLabel};
 use plp_cache::{Hierarchy, HitLevel, WriteMode};
 use plp_crypto::{CounterBlock, CtrEngine, DataBlock, MacEngine};
 use plp_events::addr::BlockAddr;
@@ -20,6 +20,7 @@ use plp_nvm::NvmDevice;
 use plp_trace::{Op, Trace, WorkloadProfile};
 
 use crate::engine::{EngineCtx, EngineStats, UpdateEngine, UpdateRequest};
+use crate::fastmap::FastMap;
 use crate::meta::{counter_block_addr, mac_block_addr, MetadataCaches};
 use crate::recovery::{ObserverExpectation, PersistImage};
 use crate::sanitizer::{NodeUpdateEvent, PersistEvent, Sanitizer, SanitizerSummary};
@@ -157,6 +158,9 @@ impl SimSetup {
         Simulation {
             sanitizer,
             node_tap: Vec::new(),
+            walk_scratch: Vec::with_capacity(config.bmt.levels_usize()),
+            reencrypt_scratch: Vec::new(),
+            flush_scratch: Vec::new(),
             hierarchy: Hierarchy::paper_default(config.llc_bytes),
             meta: MetadataCaches::new(config.metadata_cache_bytes, config.ideal_metadata),
             engine,
@@ -166,7 +170,7 @@ impl SimSetup {
             ctr: CtrEngine::new(config.key),
             mac: MacEngine::new(config.key),
             tree: BonsaiTree::new(config.bmt, config.key),
-            counters: HashMap::new(),
+            counters: FastMap::default(),
             epoch: EpochId(0),
             epoch_stores: 0,
             epoch_set: BTreeSet::new(),
@@ -176,7 +180,7 @@ impl SimSetup {
             epochs: 0,
             page_overflows: 0,
             overflow_blocks: 0,
-            plaintexts: HashMap::new(),
+            plaintexts: FastMap::default(),
             store_seq: 0,
             last_completion: Cycle::ZERO,
             last_ordered_release: Cycle::ZERO,
@@ -236,7 +240,7 @@ pub struct Simulation {
     ctr: CtrEngine,
     mac: MacEngine,
     tree: BonsaiTree,
-    counters: HashMap<u64, CounterBlock>,
+    counters: FastMap<u64, CounterBlock>,
     // Epoch persistency state.
     epoch: EpochId,
     epoch_stores: usize,
@@ -252,7 +256,7 @@ pub struct Simulation {
     overflow_blocks: u64,
     /// Architectural last plaintext per persisted block (needed to
     /// re-encrypt a page when its minor counters overflow).
-    plaintexts: HashMap<BlockAddr, DataBlock>,
+    plaintexts: FastMap<BlockAddr, DataBlock>,
     store_seq: u64,
     last_completion: Cycle,
     /// Completion of the previous WPQ entry: 2SP releases entries in
@@ -265,6 +269,12 @@ pub struct Simulation {
     /// Scratch buffer the engine tap fills per engine call; drained
     /// into the sanitizer and reused to avoid per-persist allocation.
     node_tap: Vec<NodeUpdateEvent>,
+    /// Label scratch lent to the engine via [`EngineCtx::walk`].
+    walk_scratch: Vec<NodeLabel>,
+    /// Reusable page-overflow re-encryption work list.
+    reencrypt_scratch: Vec<(BlockAddr, DataBlock, plp_crypto::CounterValue)>,
+    /// Reusable epoch-seal flush list (the epoch set snapshot).
+    flush_scratch: Vec<BlockAddr>,
 }
 
 /// A consumed simulation, returned by [`Simulation::run_with_state`]:
@@ -329,6 +339,7 @@ impl Simulation {
             nvm: &mut self.nvm,
             stats: &mut self.engine_stats,
             tap,
+            walk: &mut self.walk_scratch,
         };
         f(self.engine.as_mut(), &mut ctx)
     }
@@ -389,7 +400,10 @@ impl Simulation {
         // minor reset, so every previously persisted block of this
         // encryption page must be re-encrypted (and re-MACed) under its
         // new counter — the split-counter design's page cost (§II).
-        let mut reencrypt: Vec<(BlockAddr, DataBlock, plp_crypto::CounterValue)> = Vec::new();
+        // Overflows are rare, so the work list is a reused scratch
+        // buffer, not a per-persist allocation.
+        let mut reencrypt = std::mem::take(&mut self.reencrypt_scratch);
+        reencrypt.clear();
         if bump.overflowed() {
             self.page_overflows += 1;
             let page_addr = addr.page();
@@ -464,7 +478,7 @@ impl Simulation {
         // includes the re-encryption pass).
         if !reencrypt.is_empty() {
             let maintenance_done = completion;
-            for (other, pt, new_gamma) in reencrypt {
+            for (other, pt, new_gamma) in reencrypt.drain(..) {
                 let new_cipher = self.ctr.encrypt(pt, other, new_gamma);
                 let new_mac = self.mac.compute(&new_cipher, other, new_gamma);
                 let _ = self.nvm.write(maintenance_done, other);
@@ -485,6 +499,7 @@ impl Simulation {
             }
             self.last_completion = self.last_completion.max(maintenance_done);
         }
+        self.reencrypt_scratch = reencrypt;
 
         if ordered {
             self.persists += 1;
@@ -541,13 +556,20 @@ impl Simulation {
     /// completion time. Returns the latest core-visible admission
     /// stall.
     fn seal_epoch(&mut self, now: Cycle) -> Cycle {
-        let addrs: Vec<BlockAddr> = std::mem::take(&mut self.epoch_set).into_iter().collect();
+        // Snapshot the epoch set into the reused flush list (the set's
+        // order is already deterministic); `persist_block` below needs
+        // `&mut self`, hence the take/restore dance.
+        let mut addrs = std::mem::take(&mut self.flush_scratch);
+        addrs.clear();
+        addrs.extend(self.epoch_set.iter().copied());
+        self.epoch_set.clear();
         let mut stall = now;
-        for addr in addrs {
+        for &addr in &addrs {
             let (admit, _) = self.persist_block(addr, now, true);
             stall = stall.max(admit);
             self.hierarchy.mark_clean(addr);
         }
+        self.flush_scratch = addrs;
         let sealed = self.with_engine(|engine, ctx| engine.seal_epoch(ctx));
         if let Some(san) = self.sanitizer.as_mut() {
             // Seal-time walks (a coalescing carrier's suffix commit)

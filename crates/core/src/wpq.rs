@@ -63,7 +63,10 @@ impl Wpq {
         assert!(capacity > 0, "WPQ needs at least one entry");
         Wpq {
             capacity,
-            inflight: VecDeque::new(),
+            // The queue never holds more than capacity + 1 entries
+            // (admit pops before pushing past the cap), so one up-front
+            // reservation keeps admission reallocation-free for good.
+            inflight: VecDeque::with_capacity(capacity + 1),
             stall_cycles: 0,
             peak: 0,
             admitted: 0,

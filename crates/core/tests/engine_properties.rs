@@ -18,6 +18,7 @@ struct Harness {
     meta: MetadataCaches,
     nvm: NvmDevice,
     stats: EngineStats,
+    walk: Vec<plp_bmt::NodeLabel>,
 }
 
 impl Harness {
@@ -27,6 +28,7 @@ impl Harness {
             meta: MetadataCaches::new(32 << 10, ideal),
             nvm: NvmDevice::new(NvmConfig::paper_default()),
             stats: EngineStats::default(),
+            walk: Vec::new(),
         }
     }
 
@@ -38,6 +40,7 @@ impl Harness {
             nvm: &mut self.nvm,
             stats: &mut self.stats,
             tap: None,
+            walk: &mut self.walk,
         }
     }
 }

@@ -40,4 +40,21 @@ cmp "$clean_out" "$chaos_out" || {
 }
 rm -rf "$clean_out" "$chaos_out" "$chaos_dir"
 
+# Perf gate: the hotpath microbench writes BENCH_hotpath.json and
+# fails on a >10% per-scheme regression of the load-normalized
+# relative cost (host ns/persist divided by a pure-CPU calibration
+# workload timed around the same sample) against the committed
+# baseline. Raw ns and wall-clock fields are informational — they
+# track machine load — only relative_cost gates. The committed
+# baseline is an envelope: per-scheme max of several fresh runs,
+# inflated 1.15x, so ambient contention cannot trip the gate while a
+# real hot-path regression (e.g. reverting the BMT arena to a map,
+# ~2x) still does. Refresh it by running
+#   target/release/hotpath --out /tmp/hp_N.json
+# a few times and committing the per-scheme max * 1.15.
+./target/release/hotpath --out BENCH_hotpath.json \
+  --check results/BENCH_hotpath_baseline.json || {
+  echo "verify: hotpath perf gate failed"; exit 1
+}
+
 echo "verify: OK"

@@ -1,4 +1,4 @@
-//! The six workspace lint rules.
+//! The seven workspace lint rules.
 //!
 //! Each rule is a pattern over the lexed [`SourceModel`] (comments and
 //! literals already blanked, test regions marked). Rules fire only
@@ -34,17 +34,26 @@ pub const NO_BARE_RETRY_LOOP: RuleId = "no-bare-retry-loop";
 /// hot path the dense arena replaced. Tests (golden oracles) are
 /// exempt, as is any hit with a reasoned allow directive.
 pub const NO_NODE_HASHMAP: RuleId = "no-node-hashmap";
+/// Process-lifecycle manipulation is the crash harness's exclusive
+/// domain: `libc::kill` and `Child::kill` (`.kill()`) are banned
+/// everywhere except the harness module and its binary, and
+/// `process::exit` is additionally banned in *library* code — a
+/// library that exits hijacks its host process (binaries keep using
+/// it for exit codes). The SIGKILL protocol must stay auditable in
+/// one place.
+pub const NO_RAW_PROCESS_KILL: RuleId = "no-raw-process-kill";
 /// An allow directive without a reason.
 pub const ALLOW_REASON: RuleId = "allow-reason";
 
 /// All real rules, in reporting order ([`ALLOW_REASON`] is meta).
-pub const RULES: [RuleId; 6] = [
+pub const RULES: [RuleId; 7] = [
     NO_PANIC_LIB,
     NARROWING_CAST,
     SCHEME_MATCH_WILDCARD,
     NONDETERMINISM,
     NO_BARE_RETRY_LOOP,
     NO_NODE_HASHMAP,
+    NO_RAW_PROCESS_KILL,
 ];
 
 /// One rule hit.
@@ -71,6 +80,9 @@ pub struct FileScope {
     /// In `plp-core` or `plp-bmt`, the crates doing address and
     /// geometry math.
     pub address_math: bool,
+    /// The crash-harness module or its binary — the only code allowed
+    /// to SIGKILL processes ([`NO_RAW_PROCESS_KILL`]).
+    pub harness: bool,
 }
 
 impl FileScope {
@@ -79,9 +91,12 @@ impl FileScope {
         let library = path.contains("/src/") && !path.contains("/src/bin/");
         let address_math = library
             && (path.starts_with("crates/core/") || path.starts_with("crates/bmt/"));
+        let harness = path.starts_with("crates/bench/src/crash")
+            || path.starts_with("crates/bench/src/bin/crash_harness");
         FileScope {
             library,
             address_math,
+            harness,
         }
     }
 }
@@ -138,6 +153,18 @@ pub fn run(path: &str, model: &SourceModel, scope: FileScope) -> Vec<Finding> {
         }
         if scope.library && is_bare_retry_loop(code) {
             push(NO_BARE_RETRY_LOOP, idx, "bare retry loop");
+        }
+        if !scope.harness {
+            for pat in ["libc::kill", ".kill()"] {
+                for _ in code.matches(pat) {
+                    push(NO_RAW_PROCESS_KILL, idx, pat);
+                }
+            }
+            if scope.library {
+                for _ in code.matches("process::exit(") {
+                    push(NO_RAW_PROCESS_KILL, idx, "process::exit");
+                }
+            }
         }
 
         // Exhaustive-scheme-match tracking: once inside a `match` whose
@@ -235,6 +262,7 @@ mod tests {
     const LIB: FileScope = FileScope {
         library: true,
         address_math: true,
+        harness: false,
     };
 
     fn hits(src: &str, scope: FileScope) -> Vec<Finding> {
@@ -386,6 +414,49 @@ mod tests {
             scope,
         );
         assert!(f.iter().all(|f| f.rule != NO_BARE_RETRY_LOOP));
+    }
+
+    #[test]
+    fn raw_process_kills_are_flagged_outside_the_harness() {
+        // Library code: exit and both kill spellings all fire.
+        let src = "fn f(c: &mut Child) { std::process::exit(1); libc::kill(pid, 9); c.kill(); }\n";
+        let f = hits(src, LIB);
+        let kills: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == NO_RAW_PROCESS_KILL)
+            .collect();
+        assert_eq!(kills.len(), 3, "{kills:?}");
+
+        // A non-harness binary: exit is the normal exit-code path,
+        // but killing processes is still the harness's domain.
+        let scope = FileScope::classify("crates/bench/src/bin/all.rs");
+        assert!(!scope.harness);
+        let f = run(
+            "crates/bench/src/bin/all.rs",
+            &SourceModel::parse(src),
+            scope,
+        );
+        assert_eq!(
+            f.iter().filter(|f| f.rule == NO_RAW_PROCESS_KILL).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn harness_files_may_kill() {
+        for path in [
+            "crates/bench/src/crash.rs",
+            "crates/bench/src/bin/crash_harness.rs",
+        ] {
+            let scope = FileScope::classify(path);
+            assert!(scope.harness, "{path} must classify as harness");
+            let f = run(
+                path,
+                &SourceModel::parse("let _ = child.kill(); std::process::exit(1);\n"),
+                scope,
+            );
+            assert!(f.iter().all(|f| f.rule != NO_RAW_PROCESS_KILL));
+        }
     }
 
     #[test]

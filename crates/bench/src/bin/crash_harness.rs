@@ -1,0 +1,116 @@
+//! SIGKILL-and-recover robustness matrix over a *real* file-backed
+//! device image (see `DESIGN.md` §11 and `crates/bench/src/crash.rs`).
+//!
+//! Two modes in one binary:
+//!
+//! * **parent** (default): GC stale images and quarantined cache
+//!   entries, then for every `(scheme, failpoint, hit)` cell re-execute
+//!   itself in child mode, SIGKILL the child when its failpoint parks,
+//!   replay the orphaned image and judge recovery against a golden
+//!   in-process run. Exits 0 only if the gate passes: the four correct
+//!   engines recover Clean/Repaired with matching counter state from
+//!   every kill, the `unordered` strawman demonstrably loses data at
+//!   least once (but never silently), and nothing times out.
+//! * **child** (`--child ...`): one simulation with a durable sink
+//!   attached and (optionally) a park-mode failpoint armed. Prints the
+//!   park marker and waits for the kill, or a deterministic COMPLETED
+//!   line — byte-identical whether or not `--image` is given, which
+//!   `scripts/verify.sh` checks with `cmp`.
+//!
+//! Usage:
+//!   crash_harness [instructions] [seed] [--points p1,p2,..] [--hits h1,h2,..]
+//!   crash_harness --child --scheme S --benchmark B --instructions N \
+//!                 --seed K [--image PATH] [--failpoint F --hit H]
+
+use std::time::Duration;
+
+use plp_bench::crash::{render, run_harness, ChildSpec, HarnessOptions};
+use plp_core::Failpoint;
+
+fn child_main(args: &[String]) -> ! {
+    match ChildSpec::from_args(args).and_then(|spec| plp_bench::crash::run_child(&spec)) {
+        Ok(line) => {
+            println!("{line}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("crash-harness child: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_points(list: &str) -> Result<Vec<Failpoint>, String> {
+    list.split(',')
+        .map(|name| Failpoint::parse(name.trim()).ok_or_else(|| format!("unknown failpoint {name}")))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--child") {
+        child_main(&args);
+    }
+
+    let mut opts = HarnessOptions::default();
+    let mut positional = 0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--points" => {
+                let list = it.next().expect("--points needs a comma-separated list");
+                opts.points = parse_points(list).unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--hits" => {
+                let list = it.next().expect("--hits needs a comma-separated list");
+                opts.hits = Some(
+                    list.split(',')
+                        .map(|h| h.trim().parse().expect("hit indices are integers"))
+                        .collect(),
+                );
+            }
+            "--watchdog-secs" => {
+                let secs: u64 = it
+                    .next()
+                    .expect("--watchdog-secs needs a value")
+                    .parse()
+                    .expect("watchdog is an integer number of seconds");
+                opts.watchdog = Duration::from_secs(secs);
+            }
+            other => {
+                match positional {
+                    0 => opts.instructions = other.parse().expect("instructions is an integer"),
+                    1 => opts.seed = other.parse().expect("seed is an integer"),
+                    _ => panic!("unexpected argument {other}"),
+                }
+                positional += 1;
+            }
+        }
+    }
+
+    println!("== Crash harness: real-process SIGKILL x file-backed recovery ==");
+    println!(
+        "workload {}, {} instructions, seed {}; each cell forks a child, \
+         kills it at a named failpoint, and replays the surviving image",
+        opts.benchmark, opts.instructions, opts.seed
+    );
+    println!();
+
+    let exe = std::env::current_exe().expect("current_exe resolves");
+    match run_harness(&opts, &exe) {
+        Ok(report) => {
+            print!("{}", render(&report));
+            println!();
+            if report.pass {
+                println!("crash harness: PASS");
+            } else {
+                println!("crash harness: FAIL");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("crash harness: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -387,7 +387,7 @@ pub enum CacheOutcome {
     /// No entry on disk for this key.
     Miss,
     /// A fully verified entry.
-    Hit(RunReport),
+    Hit(Box<RunReport>),
     /// An entry existed but failed verification (or could not be
     /// read); it was moved to [`quarantine_dir`] — or deleted if the
     /// move failed — and the caller must regenerate the run.
@@ -417,7 +417,7 @@ pub fn load_checked(dir: &Path, key: &str) -> CacheOutcome {
         }
     };
     match decode_checked(key, &text) {
-        Ok(report) => CacheOutcome::Hit(report),
+        Ok(report) => CacheOutcome::Hit(Box::new(report)),
         Err(fault) => {
             let moved_to = quarantine_entry(dir, &path);
             CacheOutcome::Quarantined {
@@ -433,7 +433,7 @@ pub fn load_checked(dir: &Path, key: &str) -> CacheOutcome {
 /// [`load_checked`]).
 pub fn load(dir: &Path, key: &str) -> Option<RunReport> {
     match load_checked(dir, key) {
-        CacheOutcome::Hit(report) => Some(report),
+        CacheOutcome::Hit(report) => Some(*report),
         CacheOutcome::Miss | CacheOutcome::Quarantined { .. } => None,
     }
 }
@@ -574,7 +574,7 @@ mod tests {
         assert!(matches!(load_checked(&dir, &key), CacheOutcome::Miss));
         store(&dir, &key, &report);
         match load_checked(&dir, &key) {
-            CacheOutcome::Hit(regenerated) => assert_eq!(regenerated, report),
+            CacheOutcome::Hit(regenerated) => assert_eq!(*regenerated, report),
             other => panic!("regenerated entry must hit, got {other:?}"),
         }
 

@@ -1,0 +1,942 @@
+//! Real-process crash harness: SIGKILL a child simulation at a named
+//! failpoint, reopen the file image it left behind, and prove recovery.
+//!
+//! The harness closes the loop that the in-memory fault sweep
+//! (`fault_sweep`) cannot: there, "crash" means truncating a record
+//! list; here, a real OS process is killed with an unblockable signal
+//! while its [`plp_core::DurableSink`] is mid-write, and the only
+//! surviving evidence is the write-through device image on disk.
+//!
+//! Protocol, per matrix cell `(scheme, failpoint, hit)`:
+//!
+//! 1. the parent re-executes itself (`current_exe`) with `--child`
+//!    arguments naming the scheme, workload, seed, image path and an
+//!    armed park-mode failpoint;
+//! 2. the child simulates with a durable sink attached; when the
+//!    failpoint fires it prints [`plp_core::failpoint::PARK_MARKER`],
+//!    flushes stdout and parks in an infinite sleep — *deliberately
+//!    unable* to clean up;
+//! 3. the parent reads the marker, sends SIGKILL
+//!    ([`std::process::Child::kill`]), reaps the corpse, and replays
+//!    the orphaned image with [`plp_core::replay_image`];
+//! 4. a golden in-process run of the same `(scheme, trace, seed)`
+//!    provides the full persist history; the ids the image holds
+//!    completely define the cut, [`plp_core::RecoveryManager`] judges
+//!    the image against the cut's expectation, and the replayed
+//!    counter state is compared field-for-field against a golden fold.
+//!
+//! A child that finishes the trace before its failpoint fires prints a
+//! deterministic `COMPLETED_MARKER` line instead; those cells verify
+//! the complete image round-trips (and back the `verify.sh` gate that
+//! file-backed no-kill stdout is byte-identical to in-memory stdout).
+//!
+//! The crash model is process death, not power loss: `write(2)`-ed
+//! bytes live in the kernel page cache and survive SIGKILL without
+//! fsync, so the image the parent reopens is exactly what the child
+//! had appended when it parked.
+
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use plp_core::failpoint::PARK_MARKER;
+use plp_core::{
+    replay_image, DurableSink, Failpoint, FailpointPlan, FailpointRegistry, FaultVerdict,
+    ObserverExpectation, PersistRecord, RecoveryManager, SimSetup, SystemConfig, UpdateScheme,
+};
+use plp_crypto::CounterBlock;
+use plp_trace::spec;
+
+use crate::cache;
+use crate::supervisor::{DegradationReport, RunLog, RunVerdict};
+
+/// Marker line a child prints when it finishes its trace without the
+/// armed failpoint firing. Stable: the `verify.sh` no-kill identity
+/// gate `cmp`s whole stdouts across file-backed and in-memory runs.
+pub const COMPLETED_MARKER: &str = "crash-harness: completed";
+
+// ---------------------------------------------------------------------------
+// Child side
+// ---------------------------------------------------------------------------
+
+/// Everything a child process needs to reproduce one simulation:
+/// parsed from `--child` arguments, serialized back with
+/// [`ChildSpec::to_args`]. The round trip is exact — the child must
+/// run the *same* trace the parent's golden run used.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChildSpec {
+    /// Update scheme under test.
+    pub scheme: UpdateScheme,
+    /// Workload profile name (e.g. `gcc`).
+    pub benchmark: String,
+    /// Trace length.
+    pub instructions: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Device image path; `None` runs purely in memory (the identity
+    /// gate's baseline half).
+    pub image: Option<PathBuf>,
+    /// Armed park-mode failpoint; `None` runs to completion.
+    pub plan: Option<FailpointPlan>,
+}
+
+impl ChildSpec {
+    /// The `--child` argument vector that [`ChildSpec::from_args`]
+    /// parses back into `self`.
+    pub fn to_args(&self) -> Vec<String> {
+        let mut args = vec![
+            "--child".to_string(),
+            "--scheme".to_string(),
+            self.scheme.name().to_string(),
+            "--benchmark".to_string(),
+            self.benchmark.clone(),
+            "--instructions".to_string(),
+            self.instructions.to_string(),
+            "--seed".to_string(),
+            self.seed.to_string(),
+        ];
+        if let Some(image) = &self.image {
+            args.push("--image".to_string());
+            args.push(image.display().to_string());
+        }
+        if let Some(plan) = self.plan {
+            args.push("--failpoint".to_string());
+            args.push(plan.point.name().to_string());
+            args.push("--hit".to_string());
+            args.push(plan.hit.to_string());
+        }
+        args
+    }
+
+    /// Parses the argument list *after* the `--child` flag.
+    pub fn from_args(args: &[String]) -> Result<ChildSpec, String> {
+        let mut scheme = None;
+        let mut benchmark = None;
+        let mut instructions = None;
+        let mut seed = None;
+        let mut image = None;
+        let mut point = None;
+        let mut hit = None;
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            if flag == "--child" {
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag {flag} is missing its value"))?;
+            match flag.as_str() {
+                "--scheme" => {
+                    scheme = Some(
+                        UpdateScheme::parse(value).ok_or_else(|| format!("unknown scheme {value}"))?,
+                    );
+                }
+                "--benchmark" => benchmark = Some(value.clone()),
+                "--instructions" => {
+                    instructions =
+                        Some(value.parse().map_err(|_| format!("bad instruction count {value}"))?);
+                }
+                "--seed" => {
+                    seed = Some(value.parse().map_err(|_| format!("bad seed {value}"))?);
+                }
+                "--image" => image = Some(PathBuf::from(value)),
+                "--failpoint" => {
+                    point = Some(
+                        Failpoint::parse(value).ok_or_else(|| format!("unknown failpoint {value}"))?,
+                    );
+                }
+                "--hit" => {
+                    hit = Some(value.parse().map_err(|_| format!("bad hit index {value}"))?);
+                }
+                other => return Err(format!("unknown child flag {other}")),
+            }
+        }
+        let plan = match (point, hit) {
+            (Some(point), Some(hit)) => Some(FailpointPlan { point, hit }),
+            (None, None) => None,
+            _ => return Err("--failpoint and --hit must be given together".to_string()),
+        };
+        Ok(ChildSpec {
+            scheme: scheme.ok_or("missing --scheme")?,
+            benchmark: benchmark.ok_or("missing --benchmark")?,
+            instructions: instructions.ok_or("missing --instructions")?,
+            seed: seed.ok_or("missing --seed")?,
+            image,
+            plan,
+        })
+    }
+}
+
+/// Runs one child simulation to completion (or until its armed
+/// failpoint parks the process — in which case this never returns).
+/// Returns the `COMPLETED_MARKER` stdout line on success.
+pub fn run_child(child: &ChildSpec) -> Result<String, String> {
+    let profile = spec::benchmark(&child.benchmark)
+        .ok_or_else(|| format!("unknown benchmark {}", child.benchmark))?;
+    let setup = SimSetup::for_profile(
+        SystemConfig::for_scheme(child.scheme),
+        &profile,
+        child.seed,
+    )
+    .map_err(|e| format!("config rejected: {e}"))?;
+    let trace = setup.generate_trace(child.instructions);
+    let mut sim = setup.simulation();
+    if let Some(path) = &child.image {
+        let sink = DurableSink::create(path, setup.config(), child.seed)
+            .map_err(|e| format!("cannot create device image {}: {e}", path.display()))?;
+        sim.attach_durable_sink(sink);
+    }
+    if let Some(plan) = child.plan {
+        sim.arm_failpoints(FailpointRegistry::park(plan));
+    }
+    let (report, finished) = sim.run_with_state(&trace);
+    if let Some(e) = finished.durable_error() {
+        return Err(format!("durable sink poisoned: {e}"));
+    }
+    // Byte-stable across file-backed and in-memory runs: the sink must
+    // not perturb the simulation, and this line is the proof surface.
+    Ok(format!(
+        "{COMPLETED_MARKER} scheme={} persists={} epochs={} root={:#018x} cycles={}",
+        child.scheme.name(),
+        report.persists,
+        report.epochs,
+        finished.architectural_root(),
+        report.total_cycles
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Golden model + judge
+// ---------------------------------------------------------------------------
+
+/// One full in-process reference run: the persist history every kill
+/// of the same `(scheme, benchmark, instructions, seed)` is cut from.
+struct Golden {
+    config: SystemConfig,
+    records: Vec<PersistRecord>,
+}
+
+fn golden_run(
+    scheme: UpdateScheme,
+    benchmark: &str,
+    instructions: u64,
+    seed: u64,
+) -> Result<Golden, String> {
+    let profile =
+        spec::benchmark(benchmark).ok_or_else(|| format!("unknown benchmark {benchmark}"))?;
+    let mut config = SystemConfig::for_scheme(scheme);
+    config.record_persists = true;
+    let setup = SimSetup::for_profile(config, &profile, seed)
+        .map_err(|e| format!("config rejected: {e}"))?;
+    let trace = setup.generate_trace(instructions);
+    let config = setup.config().clone();
+    let (report, _) = setup.simulation().run_with_state(&trace);
+    Ok(Golden {
+        config,
+        records: report.records,
+    })
+}
+
+/// What recovery concluded about one reopened image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Judgement {
+    /// The recovery verdict against the cut's observer expectation.
+    pub verdict: FaultVerdict,
+    /// Whether the replayed split-counter state equals the golden
+    /// program-order fold of the cut — the "recovered tree/counter
+    /// state matches the in-memory model" half of the contract (the
+    /// counters *are* the tree: equal counters force an equal root).
+    pub counters_match: bool,
+    /// Complete persists the image held.
+    pub complete: usize,
+    /// Persists with only some tuple components on media (torn).
+    pub partial: usize,
+}
+
+impl Judgement {
+    /// Detect-or-recover held and the counter state is the model's.
+    pub fn healthy(&self) -> bool {
+        matches!(self.verdict, FaultVerdict::Clean | FaultVerdict::Repaired)
+            && self.counters_match
+    }
+}
+
+/// Reopens `image`, replays it, and judges it against the golden run.
+fn judge(golden: &Golden, image: &Path) -> Result<Judgement, String> {
+    let replayed = replay_image(image, golden.config.key)
+        .map_err(|e| format!("replay of {} failed: {e}", image.display()))?;
+    let cut: Vec<&PersistRecord> = golden
+        .records
+        .iter()
+        .filter(|r| replayed.complete_ids.contains(&r.id.0))
+        .collect();
+    // The observer expects the program-order fold of the completely
+    // persisted prefix: the file is append-ordered, so id order is the
+    // architectural order for every scheme (including unordered, whose
+    // component *times* legitimately reorder against program order).
+    let mut plaintexts = HashMap::new();
+    let mut counters: HashMap<u64, CounterBlock> = HashMap::new();
+    for r in &cut {
+        plaintexts.insert(r.addr, r.plaintext);
+        counters.insert(r.addr.page().index(), r.counters_after.clone());
+    }
+    let expected = ObserverExpectation { plaintexts };
+    let outcome = RecoveryManager::for_config(&golden.config).recover(
+        &replayed.image,
+        &golden.records,
+        &expected,
+    );
+    Ok(Judgement {
+        verdict: outcome.verdict(),
+        counters_match: replayed.image.counters == counters,
+        complete: replayed.complete_ids.len(),
+        partial: replayed.partial_ids.len(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parent side: spawn, watch, SIGKILL
+// ---------------------------------------------------------------------------
+
+/// How one matrix cell's child process ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// The failpoint fired at `persist`; the child was SIGKILLed while
+    /// parked and its image judged.
+    Killed {
+        /// Persist index (1-based) the kill landed in.
+        persist: u64,
+        /// Recovery's judgement of the orphaned image.
+        judgement: Judgement,
+    },
+    /// The trace ended before the failpoint fired; the complete image
+    /// was judged as a round-trip sanity check.
+    NotReached {
+        /// Recovery's judgement of the complete image.
+        judgement: Judgement,
+    },
+    /// The child printed neither marker within the watchdog window.
+    TimedOut,
+    /// Spawn, replay or judge failed outright.
+    Error(String),
+}
+
+/// One judged matrix cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Scheme under test.
+    pub scheme: UpdateScheme,
+    /// The armed failpoint.
+    pub point: Failpoint,
+    /// Zero-based hit index the plan armed.
+    pub hit: u64,
+    /// How the cell ended.
+    pub outcome: CellOutcome,
+}
+
+/// Parses `persist=<n>` out of a park-marker line.
+fn parse_park_persist(line: &str) -> Option<u64> {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix("persist="))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Spawns one child, waits for a marker line, SIGKILLs it if parked.
+/// Returns the outcome *before* judging (the caller owns the image).
+fn run_cell_child(exe: &Path, spec: &ChildSpec, watchdog: Duration) -> CellOutcome {
+    let mut child = match Command::new(exe)
+        .args(spec.to_args())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+    {
+        Ok(child) => child,
+        Err(e) => return CellOutcome::Error(format!("spawn failed: {e}")),
+    };
+    let Some(stdout) = child.stdout.take() else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return CellOutcome::Error("child stdout was not captured".to_string());
+    };
+    // A reader thread forwards marker lines; recv_timeout is the
+    // watchdog. After the SIGKILL the pipe closes and the thread
+    // drains to EOF on its own.
+    let (tx, rx) = mpsc::channel::<String>();
+    let reader = std::thread::spawn(move || {
+        for line in std::io::BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let outcome = loop {
+        match rx.recv_timeout(watchdog) {
+            Ok(line) if line.starts_with(PARK_MARKER) => {
+                // The whole point: a real, unblockable SIGKILL while
+                // the child is parked mid-persist.
+                let _ = child.kill();
+                break match parse_park_persist(&line) {
+                    Some(persist) => CellOutcome::Killed {
+                        persist,
+                        judgement: Judgement {
+                            verdict: FaultVerdict::Clean,
+                            counters_match: false,
+                            complete: 0,
+                            partial: 0,
+                        },
+                    },
+                    None => CellOutcome::Error(format!("unparseable park marker: {line}")),
+                };
+            }
+            Ok(line) if line.starts_with(COMPLETED_MARKER) => {
+                break CellOutcome::NotReached {
+                    judgement: Judgement {
+                        verdict: FaultVerdict::Clean,
+                        counters_match: false,
+                        complete: 0,
+                        partial: 0,
+                    },
+                };
+            }
+            Ok(_) => continue,
+            Err(_) => {
+                let _ = child.kill();
+                break CellOutcome::TimedOut;
+            }
+        }
+    };
+    let _ = child.wait();
+    let _ = reader.join();
+    outcome
+}
+
+// ---------------------------------------------------------------------------
+// Startup GC
+// ---------------------------------------------------------------------------
+
+/// Removes stale crash images and quarantined run-cache entries left
+/// behind by earlier (possibly killed) harness invocations. Returns
+/// `(images_removed, quarantine_entries_removed)`.
+///
+/// Both directories only ever hold files this repo's tooling wrote:
+/// `*.img` device images here, and rejected cache entries moved aside
+/// by [`crate::cache`]. Anything else is left alone.
+pub fn gc_stale(image_dir: &Path, cache_dir: &Path) -> (usize, usize) {
+    let mut images = 0;
+    if let Ok(entries) = std::fs::read_dir(image_dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "img")
+                && std::fs::remove_file(&path).is_ok()
+            {
+                images += 1;
+            }
+        }
+    }
+    let mut quarantined = 0;
+    if let Ok(entries) = std::fs::read_dir(cache::quarantine_dir(cache_dir)) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_file() && std::fs::remove_file(&path).is_ok() {
+                quarantined += 1;
+            }
+        }
+    }
+    (images, quarantined)
+}
+
+// ---------------------------------------------------------------------------
+// The sweep
+// ---------------------------------------------------------------------------
+
+/// Parent-side sweep configuration.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Workload profile name.
+    pub benchmark: String,
+    /// Trace length per child.
+    pub instructions: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Schemes to sweep; default: the four correct engines plus the
+    /// `unordered` strawman (which must demonstrably fail).
+    pub schemes: Vec<UpdateScheme>,
+    /// Failpoints to arm; default: the whole catalog (epoch-only
+    /// points are skipped for strict-persistency schemes).
+    pub points: Vec<Failpoint>,
+    /// Hit-index override applied to every point; `None` uses the
+    /// per-point defaults of [`default_hits`].
+    pub hits: Option<Vec<u64>>,
+    /// Where child images are written (and GC'd at startup).
+    pub image_dir: PathBuf,
+    /// Run-cache directory whose quarantine is GC'd at startup.
+    pub cache_dir: PathBuf,
+    /// Per-child watchdog.
+    pub watchdog: Duration,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        let mut schemes: Vec<UpdateScheme> = UpdateScheme::correct().to_vec();
+        schemes.push(UpdateScheme::Unordered);
+        HarnessOptions {
+            benchmark: "gcc".to_string(),
+            instructions: 20_000,
+            seed: 7,
+            schemes,
+            points: Failpoint::ALL.to_vec(),
+            hits: None,
+            image_dir: PathBuf::from("results").join("crash_images"),
+            cache_dir: crate::matrix::default_cache_dir(),
+            watchdog: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Default hit indices (zero-based) per failpoint: one early, one
+/// deeper into the run. Sites that count faster (`mid-tuple` visits
+/// once per component under `unordered`, `between-levels` once per
+/// touched tree level) still land well inside a 20k-instruction trace;
+/// epoch seals are rare, so their indices stay small.
+pub fn default_hits(point: Failpoint) -> Vec<u64> {
+    match point {
+        Failpoint::MidTuple => vec![5, 40],
+        Failpoint::BetweenLevels => vec![3, 97],
+        Failpoint::PreRootSeal | Failpoint::PostRootSeal => vec![2, 33],
+        Failpoint::MidEpochFlush => vec![1, 10],
+        Failpoint::PostEpochSeal => vec![0, 2],
+    }
+}
+
+/// Whether `point` can fire at all under `scheme`.
+fn applicable(scheme: UpdateScheme, point: Failpoint) -> bool {
+    match point {
+        Failpoint::MidEpochFlush | Failpoint::PostEpochSeal => scheme.is_epoch_based(),
+        _ => true,
+    }
+}
+
+/// The judged matrix plus the aggregate verdict.
+#[derive(Debug)]
+pub struct HarnessReport {
+    /// Every judged cell, in sweep order.
+    pub cells: Vec<CellReport>,
+    /// Supervisor-style degradation ledger (kills are intentional).
+    pub degradation: DegradationReport,
+    /// Stale images / quarantine entries removed at startup.
+    pub gc: (usize, usize),
+    /// Whether the harness gate passed (see [`HarnessReport::gate`]).
+    pub pass: bool,
+}
+
+/// Runs the full SIGKILL sweep. `exe` is the binary to re-execute in
+/// child mode (normally [`std::env::current_exe`]).
+pub fn run_harness(opts: &HarnessOptions, exe: &Path) -> Result<HarnessReport, String> {
+    let gc = gc_stale(&opts.image_dir, &opts.cache_dir);
+    std::fs::create_dir_all(&opts.image_dir)
+        .map_err(|e| format!("cannot create {}: {e}", opts.image_dir.display()))?;
+
+    let mut cells = Vec::new();
+    let mut degradation = DegradationReport::new(Vec::new());
+    for &scheme in &opts.schemes {
+        let golden = golden_run(scheme, &opts.benchmark, opts.instructions, opts.seed)?;
+        for &point in &opts.points {
+            if !applicable(scheme, point) {
+                continue;
+            }
+            let hits = opts
+                .hits
+                .clone()
+                .unwrap_or_else(|| default_hits(point));
+            for hit in hits {
+                let image = opts
+                    .image_dir
+                    .join(format!("{}-{}-h{}.img", scheme.name(), point.name(), hit));
+                let spec = ChildSpec {
+                    scheme,
+                    benchmark: opts.benchmark.clone(),
+                    instructions: opts.instructions,
+                    seed: opts.seed,
+                    image: Some(image.clone()),
+                    plan: Some(FailpointPlan { point, hit }),
+                };
+                let mut outcome = run_cell_child(exe, &spec, opts.watchdog);
+                // Judge the surviving image for both kill and
+                // run-to-completion outcomes.
+                match &mut outcome {
+                    CellOutcome::Killed { judgement, .. }
+                    | CellOutcome::NotReached { judgement } => match judge(&golden, &image) {
+                        Ok(j) => *judgement = j,
+                        Err(e) => outcome = CellOutcome::Error(e),
+                    },
+                    _ => {}
+                }
+                let key = format!("{}/{}/h{}", scheme.name(), point.name(), hit);
+                let verdict = match &outcome {
+                    CellOutcome::Killed { .. } => RunVerdict::KilledByHarness {
+                        failpoint: point.name(),
+                    },
+                    CellOutcome::NotReached { .. } => RunVerdict::Ok,
+                    CellOutcome::TimedOut => RunVerdict::TimedOut { attempts: 1 },
+                    CellOutcome::Error(_) => RunVerdict::Rejected,
+                };
+                let failures = match &outcome {
+                    CellOutcome::Error(e) => vec![e.clone()],
+                    CellOutcome::TimedOut => vec![format!("{key}: watchdog expired")],
+                    _ => Vec::new(),
+                };
+                degradation.record(
+                    &key,
+                    RunLog {
+                        verdict,
+                        failures,
+                        quarantine: None,
+                        error: None,
+                    },
+                );
+                // Healthy cells clean up after themselves; failed
+                // cells keep the image on disk for inspection (the
+                // next run's GC removes it).
+                let keep = match &outcome {
+                    CellOutcome::Killed { judgement, .. } => !judgement.healthy(),
+                    CellOutcome::NotReached { judgement } => !judgement.healthy(),
+                    _ => true,
+                };
+                if !keep {
+                    let _ = std::fs::remove_file(&image);
+                }
+                cells.push(CellReport {
+                    scheme,
+                    point,
+                    hit,
+                    outcome,
+                });
+            }
+        }
+    }
+    let pass = gate(&opts.schemes, &cells);
+    Ok(HarnessReport {
+        cells,
+        degradation,
+        gc,
+        pass,
+    })
+}
+
+/// The PASS gate:
+///
+/// * every *correct* scheme: each applicable failpoint produced at
+///   least one real kill, and every killed or completed cell is
+///   [`Judgement::healthy`] — Clean or Repaired, counters matching;
+/// * the `unordered` strawman (when swept): at least one kill is
+///   *unhealthy* (Tables I/II — torn tuples lose data), but none may
+///   be silent garbage ([`FaultVerdict::UndetectedCorruption`]) —
+///   the MAC + BMT must still catch every non-authentic state;
+/// * no cell timed out or errored.
+pub fn gate(schemes: &[UpdateScheme], cells: &[CellReport]) -> bool {
+    let correct = UpdateScheme::correct();
+    for &scheme in schemes {
+        let mine: Vec<&CellReport> = cells.iter().filter(|c| c.scheme == scheme).collect();
+        if mine.iter().any(|c| {
+            matches!(c.outcome, CellOutcome::TimedOut | CellOutcome::Error(_))
+        }) {
+            return false;
+        }
+        if correct.contains(&scheme) {
+            for &point in Failpoint::ALL.iter().filter(|&&p| applicable(scheme, p)) {
+                let at_point: Vec<&&CellReport> =
+                    mine.iter().filter(|c| c.point == point).collect();
+                if at_point.is_empty() {
+                    continue; // point filtered out of this sweep
+                }
+                if !at_point
+                    .iter()
+                    .any(|c| matches!(c.outcome, CellOutcome::Killed { .. }))
+                {
+                    return false;
+                }
+                let all_healthy = at_point.iter().all(|c| match &c.outcome {
+                    CellOutcome::Killed { judgement, .. }
+                    | CellOutcome::NotReached { judgement } => judgement.healthy(),
+                    _ => false,
+                });
+                if !all_healthy {
+                    return false;
+                }
+            }
+        } else {
+            let mut lossy = false;
+            for c in &mine {
+                if let CellOutcome::Killed { judgement, .. } = &c.outcome {
+                    if judgement.verdict == FaultVerdict::UndetectedCorruption {
+                        return false;
+                    }
+                    if !judgement.healthy() {
+                        lossy = true;
+                    }
+                }
+            }
+            if !lossy {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Renders the verdict matrix in the `fault_sweep` house style.
+pub fn render(report: &HarnessReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "gc: removed {} stale image(s), {} quarantined cache entr(ies)\n\n",
+        report.gc.0, report.gc.1
+    ));
+    out.push_str(&format!(
+        "{:<12} {:<16} {:>5} {:>9} {:<15} {:>9} {:>9}\n",
+        "scheme", "failpoint", "hit", "persist", "verdict", "complete", "partial"
+    ));
+    for cell in &report.cells {
+        let (persist, verdict, complete, partial) = match &cell.outcome {
+            CellOutcome::Killed { persist, judgement } => (
+                persist.to_string(),
+                format!(
+                    "{}{}",
+                    judgement.verdict.name(),
+                    if judgement.counters_match { "" } else { "!ctr" }
+                ),
+                judgement.complete.to_string(),
+                judgement.partial.to_string(),
+            ),
+            CellOutcome::NotReached { judgement } => (
+                "-".to_string(),
+                format!("not-reached/{}", judgement.verdict.name()),
+                judgement.complete.to_string(),
+                judgement.partial.to_string(),
+            ),
+            CellOutcome::TimedOut => ("-".to_string(), "timed-out".to_string(), String::new(), String::new()),
+            CellOutcome::Error(e) => ("-".to_string(), format!("error: {e}"), String::new(), String::new()),
+        };
+        out.push_str(&format!(
+            "{:<12} {:<16} {:>5} {:>9} {:<15} {:>9} {:>9}\n",
+            cell.scheme.name(),
+            cell.point.name(),
+            cell.hit,
+            persist,
+            verdict,
+            complete,
+            partial
+        ));
+    }
+    out.push('\n');
+    out.push_str(&report.degradation.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_with(image: Option<PathBuf>, plan: Option<FailpointPlan>) -> ChildSpec {
+        ChildSpec {
+            scheme: UpdateScheme::Sp,
+            benchmark: "gcc".to_string(),
+            instructions: 4_000,
+            seed: 7,
+            image,
+            plan,
+        }
+    }
+
+    #[test]
+    fn child_args_round_trip() {
+        for spec in [
+            spec_with(None, None),
+            spec_with(Some(PathBuf::from("/tmp/x.img")), None),
+            spec_with(
+                Some(PathBuf::from("/tmp/x.img")),
+                Some(FailpointPlan {
+                    point: Failpoint::PostRootSeal,
+                    hit: 33,
+                }),
+            ),
+        ] {
+            let args = spec.to_args();
+            assert_eq!(ChildSpec::from_args(&args), Ok(spec));
+        }
+    }
+
+    #[test]
+    fn child_args_reject_malformed() {
+        let bad = |args: &[&str]| {
+            let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            ChildSpec::from_args(&owned).unwrap_err()
+        };
+        assert!(bad(&["--scheme"]).contains("missing its value"));
+        assert!(bad(&["--scheme", "sp"]).contains("missing --benchmark"));
+        assert!(bad(&["--wat", "1"]).contains("unknown child flag"));
+        assert!(bad(&[
+            "--scheme",
+            "sp",
+            "--benchmark",
+            "gcc",
+            "--instructions",
+            "10",
+            "--seed",
+            "7",
+            "--failpoint",
+            "mid-tuple"
+        ])
+        .contains("must be given together"));
+    }
+
+    #[test]
+    fn park_marker_parses() {
+        assert_eq!(
+            parse_park_persist("crash-harness: parked point=mid-tuple hit=40 persist=41"),
+            Some(41)
+        );
+        assert_eq!(parse_park_persist("crash-harness: parked"), None);
+    }
+
+    #[test]
+    fn default_hits_cover_every_point() {
+        for &point in Failpoint::ALL.iter() {
+            assert!(!default_hits(point).is_empty());
+        }
+    }
+
+    #[test]
+    fn epoch_points_only_apply_to_epoch_schemes() {
+        assert!(!applicable(UpdateScheme::Sp, Failpoint::MidEpochFlush));
+        assert!(applicable(UpdateScheme::O3, Failpoint::MidEpochFlush));
+        assert!(applicable(UpdateScheme::Sp, Failpoint::MidTuple));
+    }
+
+    #[test]
+    fn gc_removes_images_and_quarantine_entries() {
+        let base = std::env::temp_dir().join(format!("plp-crash-gc-{}", std::process::id()));
+        let images = base.join("images");
+        let cache_dir = base.join("cache");
+        let qdir = cache::quarantine_dir(&cache_dir);
+        std::fs::create_dir_all(&images).unwrap();
+        std::fs::create_dir_all(&qdir).unwrap();
+        std::fs::write(images.join("stale-a.img"), b"x").unwrap();
+        std::fs::write(images.join("stale-b.img"), b"y").unwrap();
+        std::fs::write(images.join("keep.txt"), b"z").unwrap();
+        std::fs::write(qdir.join("entry.json"), b"{}").unwrap();
+        assert_eq!(gc_stale(&images, &cache_dir), (2, 1));
+        assert!(images.join("keep.txt").exists());
+        assert!(!images.join("stale-a.img").exists());
+        assert!(!qdir.join("entry.json").exists());
+        // A second pass finds nothing; missing dirs are fine too.
+        assert_eq!(gc_stale(&images, &cache_dir), (0, 0));
+        assert_eq!(gc_stale(&base.join("nope"), &base.join("nada")), (0, 0));
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn gate_requires_kills_and_health_for_correct_schemes() {
+        let healthy = Judgement {
+            verdict: FaultVerdict::Clean,
+            counters_match: true,
+            complete: 10,
+            partial: 0,
+        };
+        let cell = |scheme, point, outcome| CellReport {
+            scheme,
+            point,
+            hit: 0,
+            outcome,
+        };
+        // A correct scheme with one healthy kill per point passes.
+        let cells: Vec<CellReport> = [
+            Failpoint::MidTuple,
+            Failpoint::BetweenLevels,
+            Failpoint::PreRootSeal,
+            Failpoint::PostRootSeal,
+        ]
+        .into_iter()
+        .map(|p| {
+            cell(
+                UpdateScheme::Sp,
+                p,
+                CellOutcome::Killed {
+                    persist: 10,
+                    judgement: healthy,
+                },
+            )
+        })
+        .collect();
+        assert!(gate(&[UpdateScheme::Sp], &cells));
+        // An unhealthy kill on a correct scheme fails the gate.
+        let mut bad = cells.clone();
+        bad[0] = cell(
+            UpdateScheme::Sp,
+            Failpoint::MidTuple,
+            CellOutcome::Killed {
+                persist: 10,
+                judgement: Judgement {
+                    verdict: FaultVerdict::DetectedLoss,
+                    ..healthy
+                },
+            },
+        );
+        assert!(!gate(&[UpdateScheme::Sp], &bad));
+        // Only not-reached cells (no kill landed) also fail.
+        let unreached = vec![cell(
+            UpdateScheme::Sp,
+            Failpoint::MidTuple,
+            CellOutcome::NotReached { judgement: healthy },
+        )];
+        assert!(!gate(&[UpdateScheme::Sp], &unreached));
+        // Unordered must demonstrate loss...
+        let lossy = vec![cell(
+            UpdateScheme::Unordered,
+            Failpoint::MidTuple,
+            CellOutcome::Killed {
+                persist: 3,
+                judgement: Judgement {
+                    verdict: FaultVerdict::DetectedLoss,
+                    counters_match: false,
+                    complete: 2,
+                    partial: 1,
+                },
+            },
+        )];
+        assert!(gate(&[UpdateScheme::Unordered], &lossy));
+        // ...and an all-clean unordered sweep fails the gate.
+        let too_clean = vec![cell(
+            UpdateScheme::Unordered,
+            Failpoint::MidTuple,
+            CellOutcome::Killed {
+                persist: 3,
+                judgement: healthy,
+            },
+        )];
+        assert!(!gate(&[UpdateScheme::Unordered], &too_clean));
+        // Silent garbage anywhere fails, even on the strawman.
+        let silent = vec![cell(
+            UpdateScheme::Unordered,
+            Failpoint::MidTuple,
+            CellOutcome::Killed {
+                persist: 3,
+                judgement: Judgement {
+                    verdict: FaultVerdict::UndetectedCorruption,
+                    ..healthy
+                },
+            },
+        )];
+        assert!(!gate(&[UpdateScheme::Unordered], &silent));
+        // Timeouts fail regardless of scheme.
+        let stuck = vec![cell(
+            UpdateScheme::Unordered,
+            Failpoint::MidTuple,
+            CellOutcome::TimedOut,
+        )];
+        assert!(!gate(&[UpdateScheme::Unordered], &stuck));
+    }
+}

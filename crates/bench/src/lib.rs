@@ -10,6 +10,7 @@
 
 pub mod cache;
 pub mod chaos;
+pub mod crash;
 pub mod matrix;
 pub mod specs;
 pub mod supervisor;
@@ -19,6 +20,7 @@ use plp_events::stats::geometric_mean;
 use plp_trace::{spec, WorkloadProfile};
 
 pub use chaos::{ChaosOptions, ChaosPlan};
+pub use crash::{ChildSpec, HarnessOptions, HarnessReport};
 pub use matrix::{
     execute, execute_supervised, default_cache_dir, time_sweep, MatrixOptions, MatrixStats,
     ResultSet, RunRequest, SweepTiming,

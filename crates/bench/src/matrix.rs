@@ -261,7 +261,7 @@ impl AttemptJob {
                 cache::CacheOutcome::Hit(report) => {
                     self.cache_hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(SupervisedRun {
-                        report,
+                        report: *report,
                         cache_hit: true,
                         quarantined: None,
                     });
@@ -367,7 +367,7 @@ pub fn execute_supervised(
                         cache::CacheOutcome::Hit(report) => {
                             cache_hits.fetch_add(1, Ordering::Relaxed);
                             let run = SupervisedRun {
-                                report,
+                                report: *report,
                                 cache_hit: true,
                                 quarantined: None,
                             };

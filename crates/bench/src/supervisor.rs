@@ -134,6 +134,14 @@ pub enum RunVerdict {
     },
     /// A non-retryable typed error ([`RunError`]); no report exists.
     Rejected,
+    /// The crash harness SIGKILLed the run on purpose at a named
+    /// failpoint. No report exists *by design* — distinguish this
+    /// from [`RunVerdict::TimedOut`], which is a watchdog losing a
+    /// run it wanted to keep.
+    KilledByHarness {
+        /// The failpoint the kill landed on (stable kebab name).
+        failpoint: &'static str,
+    },
 }
 
 impl RunVerdict {
@@ -146,6 +154,7 @@ impl RunVerdict {
             RunVerdict::TimedOut { .. } => "timed-out",
             RunVerdict::Panicked { .. } => "panicked",
             RunVerdict::Rejected => "rejected",
+            RunVerdict::KilledByHarness { .. } => "killed-by-harness",
         }
     }
 
@@ -210,10 +219,14 @@ pub struct VerdictCounts {
     pub panicked: usize,
     /// Runs rejected with a typed, non-retryable error.
     pub rejected: usize,
+    /// Runs the crash harness SIGKILLed on purpose at a failpoint.
+    pub killed_by_harness: usize,
 }
 
 impl VerdictCounts {
-    /// Runs that produced no report.
+    /// Runs that produced no report *against the supervisor's will*.
+    /// Intentional harness kills are not losses: the kill site was the
+    /// experiment.
     pub fn lost(&self) -> usize {
         self.timed_out + self.panicked + self.rejected
     }
@@ -254,6 +267,7 @@ impl DegradationReport {
             RunVerdict::TimedOut { .. } => self.counts.timed_out += 1,
             RunVerdict::Panicked { .. } => self.counts.panicked += 1,
             RunVerdict::Rejected => self.counts.rejected += 1,
+            RunVerdict::KilledByHarness { .. } => self.counts.killed_by_harness += 1,
         }
         if log.verdict != RunVerdict::Ok {
             self.entries.insert(key.to_string(), log);
@@ -289,6 +303,12 @@ impl DegradationReport {
             "[plp-bench] supervisor: {} runs — {} ok, {} cache-quarantined, {} retried, {} timed-out, {} panicked, {} rejected\n",
             self.total_runs, c.ok, c.cache_quarantined, c.retried, c.timed_out, c.panicked, c.rejected
         );
+        if c.killed_by_harness > 0 {
+            out.push_str(&format!(
+                "[plp-bench] crash-harness: {} runs killed on purpose at failpoints\n",
+                c.killed_by_harness
+            ));
+        }
         if !self.chaos_faults.is_empty() {
             out.push_str(&format!(
                 "[plp-bench] chaos: {} faults injected\n",
@@ -329,7 +349,7 @@ pub struct SupervisedRun {
 enum AttemptOutcome {
     /// The attempt ran to completion (successfully or with a typed
     /// error).
-    Finished(Result<SupervisedRun, RunError>),
+    Finished(Box<Result<SupervisedRun, RunError>>),
     /// The attempt panicked; the payload rendered as text.
     Panicked(String),
     /// The watchdog expired; the attempt thread was abandoned.
@@ -383,14 +403,16 @@ where
         .spawn(move || {
             SUPERVISED_THREAD.with(|s| s.set(true));
             let outcome = match catch_unwind(AssertUnwindSafe(job)) {
-                Ok(result) => AttemptOutcome::Finished(result),
+                Ok(result) => AttemptOutcome::Finished(Box::new(result)),
                 Err(payload) => AttemptOutcome::Panicked(panic_message(payload.as_ref())),
             };
             let _ = tx.send(outcome);
         });
     let handle = match spawned {
         Ok(handle) => handle,
-        Err(e) => return AttemptOutcome::Finished(Err(RunError::SpawnFailed(e.to_string()))),
+        Err(e) => {
+            return AttemptOutcome::Finished(Box::new(Err(RunError::SpawnFailed(e.to_string()))))
+        }
     };
     match rx.recv_timeout(watchdog) {
         Ok(outcome) => {
@@ -434,35 +456,37 @@ where
             std::thread::sleep(Duration::from_nanos(policy.delay_ns(token, attempt) as u64));
         }
         match supervise_attempt(make_job(attempt), opts.watchdog) {
-            AttemptOutcome::Finished(Ok(run)) => {
-                let mut log = RunLog {
-                    verdict: if attempt > 0 {
-                        RunVerdict::Retried { attempts: attempt }
-                    } else {
-                        RunVerdict::Ok
-                    },
-                    failures,
-                    quarantine,
-                    error: None,
-                };
-                log.absorb_quarantine(run.quarantined.clone());
-                return (Some(run), log);
-            }
-            AttemptOutcome::Finished(Err(error)) => {
-                failures.push(format!("attempt {attempt}: {error}"));
-                if !error.is_retryable() {
-                    return (
-                        None,
-                        RunLog {
-                            verdict: RunVerdict::Rejected,
-                            failures,
-                            quarantine,
-                            error: Some(error),
+            AttemptOutcome::Finished(result) => match *result {
+                Ok(run) => {
+                    let mut log = RunLog {
+                        verdict: if attempt > 0 {
+                            RunVerdict::Retried { attempts: attempt }
+                        } else {
+                            RunVerdict::Ok
                         },
-                    );
+                        failures,
+                        quarantine,
+                        error: None,
+                    };
+                    log.absorb_quarantine(run.quarantined.clone());
+                    return (Some(run), log);
                 }
-                last = LastFailure::Error(error);
-            }
+                Err(error) => {
+                    failures.push(format!("attempt {attempt}: {error}"));
+                    if !error.is_retryable() {
+                        return (
+                            None,
+                            RunLog {
+                                verdict: RunVerdict::Rejected,
+                                failures,
+                                quarantine,
+                                error: Some(error),
+                            },
+                        );
+                    }
+                    last = LastFailure::Error(error);
+                }
+            },
             AttemptOutcome::Panicked(message) => {
                 failures.push(format!("attempt {attempt}: panicked: {message}"));
                 last = LastFailure::Panic;
@@ -615,5 +639,31 @@ mod tests {
         retried.verdict = RunVerdict::Retried { attempts: 2 };
         retried.absorb_quarantine(Some("truncated entry".to_string()));
         assert_eq!(retried.verdict, RunVerdict::Retried { attempts: 2 });
+    }
+
+    #[test]
+    fn harness_kills_are_counted_but_not_lost() {
+        let mut report = DegradationReport::new(Vec::new());
+        report.record("sp/mid-tuple", {
+            let mut log = RunLog::clean();
+            log.verdict = RunVerdict::KilledByHarness {
+                failpoint: "mid-tuple",
+            };
+            log
+        });
+        report.record("sp/clean", RunLog::clean());
+        assert_eq!(report.counts().killed_by_harness, 1);
+        // An intentional SIGKILL is not a lost run: the kill site was
+        // the experiment, unlike a watchdog timeout.
+        assert_eq!(report.counts().lost(), 0);
+        assert!(report.fully_recovered());
+        let verdict = RunVerdict::KilledByHarness {
+            failpoint: "mid-tuple",
+        };
+        assert_eq!(verdict.name(), "killed-by-harness");
+        assert!(!verdict.recovered());
+        let rendered = report.render();
+        assert!(rendered.contains("1 runs killed on purpose"));
+        assert!(rendered.contains("killed-by-harness sp/mid-tuple"));
     }
 }

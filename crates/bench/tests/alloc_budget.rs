@@ -85,6 +85,7 @@ impl Harness {
             stats: &mut self.stats,
             tap: None,
             walk: &mut self.walk,
+            failpoints: None,
         }
     }
 }

@@ -82,6 +82,11 @@ pub struct EngineCtx<'a> {
     /// need a materialized update path (the mutant's reverse walk)
     /// borrow it instead of allocating one per persist.
     pub walk: &'a mut Vec<NodeLabel>,
+    /// The named-failpoint registry, when the crash harness armed one:
+    /// `note_update` visits the `between-levels` failpoint through it.
+    /// `None` on ordinary runs — one branch per node update, like the
+    /// tap.
+    pub failpoints: Option<&'a mut crate::failpoint::FailpointRegistry>,
 }
 
 impl EngineCtx<'_> {
@@ -96,6 +101,9 @@ impl EngineCtx<'_> {
         self.stats.node_updates += 1;
         if let Some(tap) = self.tap.as_deref_mut() {
             tap.push(NodeUpdateEvent { label, level, done });
+        }
+        if let Some(fp) = self.failpoints.as_deref_mut() {
+            fp.hit(crate::failpoint::Failpoint::BetweenLevels);
         }
     }
 
@@ -302,6 +310,7 @@ pub(crate) mod testutil {
                 stats: &mut self.stats,
                 tap: None,
                 walk: &mut self.walk,
+                failpoints: None,
             }
         }
 
@@ -316,6 +325,7 @@ pub(crate) mod testutil {
                 stats: &mut self.stats,
                 tap: Some(&mut self.tap),
                 walk: &mut self.walk,
+                failpoints: None,
             }
         }
 

@@ -39,8 +39,10 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod crash;
 pub mod engine;
 mod error;
+pub mod failpoint;
 pub mod fault;
 mod fastmap;
 pub mod meta;
@@ -54,7 +56,9 @@ mod tuple;
 mod wpq;
 
 pub use config::{ProtectionScope, SystemConfig, UpdateScheme};
+pub use crash::{replay_image, DurableSink, ReplayedImage};
 pub use error::ConfigError;
+pub use failpoint::{Failpoint, FailpointPlan, FailpointRegistry, FiredFailpoint};
 pub use fault::{
     BlockFate, FaultClass, FaultConfig, FaultInjector, FaultOutcome, FaultSpec, FaultSweep,
     FaultVerdict, RecoveryError, RecoveryManager, RecoveryOutcome, RootStatus, SchemeRobustness,

@@ -13,15 +13,17 @@ use std::collections::BTreeSet;
 
 use plp_bmt::{BonsaiTree, NodeLabel};
 use plp_cache::{Hierarchy, HitLevel, WriteMode};
-use plp_crypto::{CounterBlock, CtrEngine, DataBlock, MacEngine};
+use plp_crypto::{CounterBlock, CtrEngine, DataBlock, MacEngine, MacTag};
 use plp_events::addr::BlockAddr;
 use plp_events::Cycle;
-use plp_nvm::NvmDevice;
+use plp_nvm::{NvmDevice, NvmError};
 use plp_trace::{Op, Trace, WorkloadProfile};
 
 use crate::engine::{EngineCtx, EngineStats, UpdateEngine, UpdateRequest};
 use crate::fastmap::FastMap;
 use crate::meta::{counter_block_addr, mac_block_addr, MetadataCaches};
+use crate::crash::DurableSink;
+use crate::failpoint::{Failpoint, FailpointRegistry, FiredFailpoint};
 use crate::recovery::{ObserverExpectation, PersistImage};
 use crate::sanitizer::{NodeUpdateEvent, PersistEvent, Sanitizer, SanitizerSummary};
 use crate::wpq::Wpq;
@@ -185,6 +187,8 @@ impl SimSetup {
             last_completion: Cycle::ZERO,
             last_ordered_release: Cycle::ZERO,
             records: Vec::new(),
+            failpoints: None,
+            durable: None,
             base_ipc: self.base_ipc,
             config,
         }
@@ -275,6 +279,12 @@ pub struct Simulation {
     reencrypt_scratch: Vec<(BlockAddr, DataBlock, plp_crypto::CounterValue)>,
     /// Reusable epoch-seal flush list (the epoch set snapshot).
     flush_scratch: Vec<BlockAddr>,
+    /// The named-failpoint registry, when the crash harness armed one.
+    failpoints: Option<FailpointRegistry>,
+    /// The file-backed durable sink, when a crash-harness child
+    /// attached one: every persisted tuple is mirrored write-through
+    /// into a device image that survives this process being killed.
+    durable: Option<DurableSink>,
 }
 
 /// A consumed simulation, returned by [`Simulation::run_with_state`]:
@@ -296,12 +306,59 @@ impl FinishedSim {
     pub fn architectural_root(&self) -> plp_bmt::NodeValue {
         self.sim.tree.root()
     }
+
+    /// Where the armed failpoint fired, if a registry was armed (in
+    /// observe mode a fired run still completes — this is how the
+    /// golden model and the determinism tests learn the kill site).
+    pub fn fired_failpoint(&self) -> Option<FiredFailpoint> {
+        self.sim.failpoints.as_ref().and_then(|f| f.fired())
+    }
+
+    /// Total visits the armed registry counted at `point`.
+    pub fn failpoint_hits(&self, point: Failpoint) -> u64 {
+        self.sim
+            .failpoints
+            .as_ref()
+            .map_or(0, |f| f.hit_count(point))
+    }
+
+    /// The first I/O error the durable sink swallowed, if a sink was
+    /// attached and errored. Sink errors never disturb the simulation;
+    /// callers that care (the crash-harness child) check here.
+    pub fn durable_error(&self) -> Option<NvmError> {
+        self.sim.durable.as_ref().and_then(|s| s.error())
+    }
 }
 
 impl Simulation {
     /// The configuration this simulation was built with.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// Arms the named-failpoint registry for this run. In observe mode
+    /// the run completes and [`FinishedSim::fired_failpoint`] reports
+    /// where the plan fired; in park mode the run stops dead at the
+    /// armed `(failpoint, hit)`, awaiting SIGKILL from the harness.
+    pub fn arm_failpoints(&mut self, registry: FailpointRegistry) {
+        self.failpoints = Some(registry);
+    }
+
+    /// Attaches a file-backed durable sink: from now on every
+    /// persisted tuple is mirrored write-through into the sink's
+    /// device image, so killing this process leaves a readable image
+    /// of exactly the persisted prefix.
+    pub fn attach_durable_sink(&mut self, sink: DurableSink) {
+        self.durable = Some(sink);
+    }
+
+    /// Visits failpoint `point` if a registry is armed. Hit counts
+    /// advance identically whether or not a durable sink is attached,
+    /// so observed hit indices are valid kill addresses.
+    fn fp_hit(&mut self, point: Failpoint) {
+        if let Some(fp) = self.failpoints.as_mut() {
+            fp.hit(point);
+        }
     }
 
     fn effective_mac(&self) -> Cycle {
@@ -340,6 +397,7 @@ impl Simulation {
             stats: &mut self.engine_stats,
             tap,
             walk: &mut self.walk_scratch,
+            failpoints: self.failpoints.as_mut(),
         };
         f(self.engine.as_mut(), &mut ctx)
     }
@@ -365,6 +423,9 @@ impl Simulation {
 
         // Step 1 of 2SP: allocate a WPQ entry (core stalls if full).
         let admit = self.wpq.admit(now);
+        if let Some(fp) = self.failpoints.as_mut() {
+            fp.begin_persist();
+        }
 
         // Gather the tuple. The BMT walk depends only on the counter;
         // the 64-byte MAC block (which the new tag merges into) gathers
@@ -421,6 +482,7 @@ impl Simulation {
         // Schedule the BMT update path through whichever engine the
         // scheme plugged in.
         let leaf = self.config.bmt.leaf(page);
+        self.fp_hit(Failpoint::PreRootSeal);
         let root_done = self.with_engine(|engine, ctx| {
             ctx.stats.persists += 1;
             engine.persist(
@@ -431,6 +493,8 @@ impl Simulation {
                 ctx,
             )
         });
+        self.fp_hit(Failpoint::PostRootSeal);
+        self.append_durable_tuple(addr, page, &ciphertext, &counters_after, mac);
         // Shadow-verify the walk the engine just scheduled (Invariant 2
         // per level, or the epoch/WAW contract), then recycle the tap.
         if let Some(san) = self.sanitizer.as_mut() {
@@ -483,6 +547,12 @@ impl Simulation {
                 let new_mac = self.mac.compute(&new_cipher, other, new_gamma);
                 let _ = self.nvm.write(maintenance_done, other);
                 self.overflow_blocks += 1;
+                // Mirror the re-encryption into the durable image; it
+                // persists atomically with its carrier tuple, so there
+                // is no failpoint between the two appends.
+                if let Some(sink) = self.durable.as_mut() {
+                    sink.overflow(u64::MAX - self.overflow_blocks, other, &new_cipher, new_mac);
+                }
                 if self.config.record_persists {
                     self.records.push(PersistRecord {
                         id: PersistId(u64::MAX - self.overflow_blocks),
@@ -551,6 +621,70 @@ impl Simulation {
         (admit, completion)
     }
 
+    /// Mirrors one persisted tuple into the durable image and visits
+    /// the `mid-tuple` failpoint.
+    ///
+    /// Frame granularity is the persistency claim under test: tuple-
+    /// atomic schemes append one frame — torn on purpose when the
+    /// armed `mid-tuple` kill is about to land, so the reader discards
+    /// it (an interrupted 2SP tuple leaves no partial state) — while
+    /// the `unordered` baseline appends each component separately with
+    /// the failpoint between them, leaving genuinely half-written
+    /// tuples on disk.
+    fn append_durable_tuple(
+        &mut self,
+        addr: BlockAddr,
+        page: u64,
+        ciphertext: &DataBlock,
+        counters_after: &CounterBlock,
+        mac: MacTag,
+    ) {
+        if self.durable.is_none() && self.failpoints.is_none() {
+            return;
+        }
+        let id = self.store_seq;
+        let root_after = self.tree.root();
+        if self.config.scheme == UpdateScheme::Unordered {
+            if let Some(sink) = self.durable.as_mut() {
+                sink.data(id, addr, ciphertext);
+            }
+            self.fp_hit(Failpoint::MidTuple);
+            if let Some(sink) = self.durable.as_mut() {
+                sink.counter(id, page, counters_after);
+            }
+            self.fp_hit(Failpoint::MidTuple);
+            if let Some(sink) = self.durable.as_mut() {
+                sink.mac_tag(id, addr, mac);
+            }
+            self.fp_hit(Failpoint::MidTuple);
+            if let Some(sink) = self.durable.as_mut() {
+                sink.root(id, root_after);
+            }
+        } else {
+            let torn = self
+                .failpoints
+                .as_ref()
+                .is_some_and(|fp| fp.would_fire(Failpoint::MidTuple));
+            if let Some(sink) = self.durable.as_mut() {
+                let frame = crate::crash::TupleFrame {
+                    id,
+                    addr,
+                    page,
+                    cipher: ciphertext,
+                    counters: counters_after,
+                    mac,
+                    root: root_after,
+                };
+                if torn {
+                    sink.tuple_torn(&frame);
+                } else {
+                    sink.tuple(&frame);
+                }
+            }
+            self.fp_hit(Failpoint::MidTuple);
+        }
+    }
+
     /// Seals the current epoch: flushes its write set as persists,
     /// rotates the ETT and re-stamps the epoch's records to its
     /// completion time. Returns the latest core-visible admission
@@ -568,6 +702,7 @@ impl Simulation {
             let (admit, _) = self.persist_block(addr, now, true);
             stall = stall.max(admit);
             self.hierarchy.mark_clean(addr);
+            self.fp_hit(Failpoint::MidEpochFlush);
         }
         self.flush_scratch = addrs;
         let sealed = self.with_engine(|engine, ctx| engine.seal_epoch(ctx));
@@ -587,6 +722,17 @@ impl Simulation {
                     r.times = TupleTimes::atomic(completion);
                 }
             }
+        }
+        // The seal itself is durable state: mirror it, then visit the
+        // post-seal failpoint (a kill there must find the seal frame
+        // already on disk).
+        if self.durable.is_some() || self.failpoints.is_some() {
+            let sealed_root = self.tree.root();
+            let sealed_epoch = self.epoch.0;
+            if let Some(sink) = self.durable.as_mut() {
+                sink.seal(sealed_epoch, sealed_root);
+            }
+            self.fp_hit(Failpoint::PostEpochSeal);
         }
         self.epochs += 1;
         self.epoch = EpochId(self.epoch.0 + 1);

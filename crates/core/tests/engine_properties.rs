@@ -41,6 +41,7 @@ impl Harness {
             stats: &mut self.stats,
             tap: None,
             walk: &mut self.walk,
+            failpoints: None,
         }
     }
 }
@@ -61,7 +62,7 @@ proptest! {
         let mut now = Cycle::ZERO;
         let mut last = Cycle::ZERO;
         for (page, gap) in stream {
-            now = now + Cycle::new(gap);
+            now += Cycle::new(gap);
             let done = e.persist(
                 UpdateRequest { leaf: h.geometry.leaf(page), now },
                 &mut h.ctx(),
@@ -82,7 +83,7 @@ proptest! {
         let mut now = Cycle::ZERO;
         let (mut last_s, mut last_p) = (Cycle::ZERO, Cycle::ZERO);
         for (page, gap) in stream {
-            now = now + Cycle::new(gap);
+            now += Cycle::new(gap);
             let rs = UpdateRequest { leaf: hs.geometry.leaf(page), now };
             last_s = last_s.max(seq.persist(rs, &mut hs.ctx()));
             let rp = UpdateRequest { leaf: hp.geometry.leaf(page), now };
@@ -162,7 +163,7 @@ proptest! {
         let mut ct = CounterTreeEngine::new(Cycle::new(40));
         let mut now = Cycle::ZERO;
         for (page, gap) in stream {
-            now = now + Cycle::new(gap);
+            now += Cycle::new(gap);
             let rs = UpdateRequest { leaf: hs.geometry.leaf(page), now };
             let ds = seq.persist(rs, &mut hs.ctx());
             let rc = UpdateRequest { leaf: hc.geometry.leaf(page), now };

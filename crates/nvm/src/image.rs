@@ -1,0 +1,424 @@
+//! File-backed persistent device images.
+//!
+//! The in-memory [`crate::Medium`] dies with the process that owns it,
+//! which is exactly the property the real-process crash harness needs
+//! to *remove*: a simulation that is SIGKILLed must leave behind a
+//! device image the parent can reopen and recover. This module is the
+//! durable half of that seam — an append-only, write-through file
+//! format mirroring the persist stream.
+//!
+//! The crash model is **process death**, not power loss: once
+//! `write(2)` has returned, the bytes live in the kernel page cache
+//! and survive a SIGKILL of the writer, so the writer needs no fsync
+//! on the hot path ([`ImageWriter::sync`] exists for callers that also
+//! want the power-loss guarantee).
+//!
+//! # Layout
+//!
+//! ```text
+//! [ 64-byte header ][ frame ][ frame ] ... [ possibly torn tail ]
+//! ```
+//!
+//! Header (all integers little-endian):
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 8    | magic `PLPNVM1\0` |
+//! | 8      | 4    | format version (currently 1) |
+//! | 12     | 4    | tree levels |
+//! | 16     | 8    | tree arity |
+//! | 24     | 8    | trace seed |
+//! | 32     | 1    | scheme-name length |
+//! | 33     | 23   | scheme name, zero-padded |
+//! | 56     | 8    | FNV-1a 64 checksum of bytes 0..56 |
+//!
+//! Each frame is `[tag u8][len u32][payload][fnv u64]` where the
+//! checksum covers the tag, the length bytes, and the payload. Frame
+//! payloads are opaque here — `plp_core` defines the tags for tuple
+//! components, root seals, and epoch seals.
+//!
+//! Readers tolerate a torn *tail* (a frame cut short or failing its
+//! checksum, i.e. the write the kill landed on): everything from the
+//! first bad frame onward is discarded and reported, never an error.
+//! A corrupt *header* is an error — the image is unusable — reported
+//! as a typed [`NvmError`], never a panic.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::NvmError;
+
+/// Magic bytes opening every image file.
+pub const IMAGE_MAGIC: [u8; 8] = *b"PLPNVM1\0";
+/// Current image format version.
+pub const IMAGE_VERSION: u32 = 1;
+/// Fixed on-disk header size in bytes.
+pub const IMAGE_HEADER_BYTES: usize = 64;
+/// Longest scheme name the header can carry.
+pub const IMAGE_SCHEME_MAX: usize = 23;
+
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a 64 over `bytes` — the same hash the bench cache keys use, so
+/// image checksums stay dependency-free and deterministic.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_BASIS;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Identity of an image: which run produced it, against which geometry.
+///
+/// Enough for a reader to rebuild the matching integrity tree and to
+/// refuse images from a different run than the one it expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageHeader {
+    /// Integrity-tree arity the run was configured with.
+    pub arity: u64,
+    /// Integrity-tree levels the run was configured with.
+    pub levels: u32,
+    /// Trace seed of the producing run.
+    pub seed: u64,
+    /// Stable scheme name of the producing run (e.g. `"sp"`).
+    pub scheme: String,
+}
+
+impl ImageHeader {
+    /// Encodes the header into its fixed 64-byte on-disk form.
+    ///
+    /// Scheme names longer than [`IMAGE_SCHEME_MAX`] are truncated at a
+    /// byte boundary; every stable scheme name in the workspace is far
+    /// shorter.
+    pub fn encode(&self) -> [u8; IMAGE_HEADER_BYTES] {
+        let mut out = [0u8; IMAGE_HEADER_BYTES];
+        out[0..8].copy_from_slice(&IMAGE_MAGIC);
+        out[8..12].copy_from_slice(&IMAGE_VERSION.to_le_bytes());
+        out[12..16].copy_from_slice(&self.levels.to_le_bytes());
+        out[16..24].copy_from_slice(&self.arity.to_le_bytes());
+        out[24..32].copy_from_slice(&self.seed.to_le_bytes());
+        let name = self.scheme.as_bytes();
+        let take = name.len().min(IMAGE_SCHEME_MAX);
+        out[32] = take as u8;
+        out[33..33 + take].copy_from_slice(&name[..take]);
+        let sum = fnv1a(&out[..56]);
+        out[56..64].copy_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decodes a header from its on-disk form, validating magic,
+    /// version, checksum, and the scheme-name field.
+    pub fn decode(bytes: &[u8; IMAGE_HEADER_BYTES]) -> Result<Self, NvmError> {
+        if bytes[0..8] != IMAGE_MAGIC {
+            return Err(NvmError::ImageBadMagic);
+        }
+        let version = read_u32(bytes, 8);
+        if version != IMAGE_VERSION {
+            return Err(NvmError::ImageBadVersion { version });
+        }
+        let sum = read_u64(bytes, 56);
+        if sum != fnv1a(&bytes[..56]) {
+            return Err(NvmError::ImageHeaderCorrupt);
+        }
+        let scheme_len = bytes[32] as usize;
+        if scheme_len > IMAGE_SCHEME_MAX {
+            return Err(NvmError::ImageHeaderCorrupt);
+        }
+        let scheme = match std::str::from_utf8(&bytes[33..33 + scheme_len]) {
+            Ok(s) => s.to_string(),
+            Err(_) => return Err(NvmError::ImageHeaderCorrupt),
+        };
+        Ok(ImageHeader {
+            arity: read_u64(bytes, 16),
+            levels: read_u32(bytes, 12),
+            seed: read_u64(bytes, 24),
+            scheme,
+        })
+    }
+}
+
+fn read_u32(bytes: &[u8], off: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[off..off + 4]);
+    u32::from_le_bytes(b)
+}
+
+fn read_u64(bytes: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Encodes one complete frame: `[tag][len u32][payload][fnv u64]`.
+fn encode_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(13 + payload.len());
+    frame.push(tag);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    let sum = fnv1a(&frame);
+    frame.extend_from_slice(&sum.to_le_bytes());
+    frame
+}
+
+/// Write-through appender for a device image.
+///
+/// Every append is a single `write_all` straight to the file — no
+/// userspace buffering, so a SIGKILL between appends loses nothing and
+/// a SIGKILL *during* an append tears at most the final frame, which
+/// readers discard.
+#[derive(Debug)]
+pub struct ImageWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl ImageWriter {
+    /// Creates (truncating) the image file and writes its header.
+    pub fn create(path: &Path, header: &ImageHeader) -> Result<Self, NvmError> {
+        let mut file = File::create(path).map_err(|_| NvmError::ImageIo { op: "create" })?;
+        file.write_all(&header.encode())
+            .map_err(|_| NvmError::ImageIo { op: "write" })?;
+        Ok(ImageWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Appends one complete frame.
+    pub fn append(&mut self, tag: u8, payload: &[u8]) -> Result<(), NvmError> {
+        self.file
+            .write_all(&encode_frame(tag, payload))
+            .map_err(|_| NvmError::ImageIo { op: "write" })
+    }
+
+    /// Appends only the first `keep` bytes of the frame — the
+    /// deterministic stand-in for a write the kill lands on. Readers
+    /// will discard the torn frame, so an `append_torn` followed by
+    /// process death leaves the image exactly as if the frame were
+    /// never attempted.
+    pub fn append_torn(&mut self, tag: u8, payload: &[u8], keep: usize) -> Result<(), NvmError> {
+        let frame = encode_frame(tag, payload);
+        let keep = keep.min(frame.len().saturating_sub(1));
+        self.file
+            .write_all(&frame[..keep])
+            .map_err(|_| NvmError::ImageIo { op: "write" })
+    }
+
+    /// Flushes file contents to stable storage (`fdatasync`). Not
+    /// needed for the SIGKILL crash model; offered for callers that
+    /// also want the image to survive power loss.
+    pub fn sync(&mut self) -> Result<(), NvmError> {
+        self.file
+            .sync_data()
+            .map_err(|_| NvmError::ImageIo { op: "sync" })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// One intact frame recovered from an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageRecord {
+    /// Frame tag (meaning assigned by the producer).
+    pub tag: u8,
+    /// Frame payload.
+    pub payload: Vec<u8>,
+}
+
+/// Everything a reader recovers from an image file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageContents {
+    /// Validated header.
+    pub header: ImageHeader,
+    /// All intact frames, in append order.
+    pub records: Vec<ImageRecord>,
+    /// Bytes discarded from the first bad frame onward (0 for a
+    /// cleanly closed image). Nonzero means the writer died mid-frame.
+    pub torn_tail_bytes: u64,
+}
+
+/// Reads and validates an image file.
+///
+/// Header problems are hard, typed errors. A bad frame is *not* an
+/// error: frames after the last intact one are the write the kill
+/// interrupted, so they are counted into
+/// [`ImageContents::torn_tail_bytes`] and dropped — tuple atomicity at
+/// the medium level.
+pub fn read_image(path: &Path) -> Result<ImageContents, NvmError> {
+    let mut file = File::open(path).map_err(|_| NvmError::ImageIo { op: "read" })?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)
+        .map_err(|_| NvmError::ImageIo { op: "read" })?;
+    if bytes.len() < IMAGE_HEADER_BYTES {
+        return Err(NvmError::ImageHeaderTruncated {
+            len: bytes.len() as u64,
+        });
+    }
+    let mut head = [0u8; IMAGE_HEADER_BYTES];
+    head.copy_from_slice(&bytes[..IMAGE_HEADER_BYTES]);
+    let header = ImageHeader::decode(&head)?;
+
+    let mut records = Vec::new();
+    let mut off = IMAGE_HEADER_BYTES;
+    let total = bytes.len();
+    while off < total {
+        // Frame = tag(1) + len(4) + payload + checksum(8).
+        if total - off < 13 {
+            break;
+        }
+        let len = read_u32(&bytes, off + 1) as usize;
+        let Some(end) = off.checked_add(13 + len) else {
+            break;
+        };
+        if end > total {
+            break;
+        }
+        let body = &bytes[off..off + 5 + len];
+        let sum = read_u64(&bytes, off + 5 + len);
+        if sum != fnv1a(body) {
+            break;
+        }
+        records.push(ImageRecord {
+            tag: bytes[off],
+            payload: bytes[off + 5..off + 5 + len].to_vec(),
+        });
+        off = end;
+    }
+    Ok(ImageContents {
+        header,
+        records,
+        torn_tail_bytes: (total - off) as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> ImageHeader {
+        ImageHeader {
+            arity: 8,
+            levels: 9,
+            seed: 7,
+            scheme: "sp".to_string(),
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("plp_image_{}_{name}.img", std::process::id()))
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = header();
+        let bytes = h.encode();
+        assert_eq!(ImageHeader::decode(&bytes), Ok(h));
+    }
+
+    #[test]
+    fn header_rejects_bad_magic() {
+        let mut bytes = header().encode();
+        bytes[0] ^= 0xff;
+        assert_eq!(ImageHeader::decode(&bytes), Err(NvmError::ImageBadMagic));
+    }
+
+    #[test]
+    fn header_rejects_bad_version() {
+        let mut bytes = header().encode();
+        bytes[8..12].copy_from_slice(&9u32.to_le_bytes());
+        assert_eq!(
+            ImageHeader::decode(&bytes),
+            Err(NvmError::ImageBadVersion { version: 9 })
+        );
+    }
+
+    #[test]
+    fn header_rejects_flipped_bit_anywhere_past_magic() {
+        for byte in 12..56 {
+            let mut bytes = header().encode();
+            bytes[byte] ^= 0x40;
+            assert_eq!(
+                ImageHeader::decode(&bytes),
+                Err(NvmError::ImageHeaderCorrupt),
+                "flip at byte {byte} must be caught"
+            );
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip_and_torn_tail() {
+        let path = temp_path("roundtrip");
+        let mut w = ImageWriter::create(&path, &header()).unwrap();
+        w.append(1, &[1, 2, 3]).unwrap();
+        w.append(2, b"payload").unwrap();
+        w.append_torn(3, &[9; 40], 11).unwrap();
+        drop(w);
+
+        let img = read_image(&path).unwrap();
+        assert_eq!(img.header, header());
+        assert_eq!(
+            img.records,
+            vec![
+                ImageRecord {
+                    tag: 1,
+                    payload: vec![1, 2, 3]
+                },
+                ImageRecord {
+                    tag: 2,
+                    payload: b"payload".to_vec()
+                },
+            ]
+        );
+        assert_eq!(img.torn_tail_bytes, 11);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_header_is_typed_error() {
+        let path = temp_path("short");
+        std::fs::write(&path, &header().encode()[..30]).unwrap();
+        assert_eq!(
+            read_image(&path),
+            Err(NvmError::ImageHeaderTruncated { len: 30 })
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_frame_checksum_drops_tail() {
+        let path = temp_path("badframe");
+        let mut w = ImageWriter::create(&path, &header()).unwrap();
+        w.append(1, &[5; 8]).unwrap();
+        w.append(2, &[6; 8]).unwrap();
+        drop(w);
+        // Flip a payload byte of the second frame; its checksum now
+        // fails, so only the first frame survives.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let second_frame = IMAGE_HEADER_BYTES + 13 + 8;
+        bytes[second_frame + 6] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let img = read_image(&path).unwrap();
+        assert_eq!(img.records.len(), 1);
+        assert_eq!(img.torn_tail_bytes, 21);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_image_has_no_records() {
+        let path = temp_path("empty");
+        let w = ImageWriter::create(&path, &header()).unwrap();
+        drop(w);
+        let img = read_image(&path).unwrap();
+        assert!(img.records.is_empty());
+        assert_eq!(img.torn_tail_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -29,9 +29,11 @@
 #![warn(missing_docs)]
 
 mod device;
+pub mod image;
 mod medium;
 mod timing;
 
 pub use device::{NvmDevice, NvmStats};
+pub use image::{read_image, ImageContents, ImageHeader, ImageRecord, ImageWriter};
 pub use medium::Medium;
 pub use timing::{Interleave, NvmConfig, NvmError, NvmTiming, ReadFaultConfig};

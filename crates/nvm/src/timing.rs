@@ -252,6 +252,26 @@ pub enum NvmError {
         /// The rejected probability.
         probability: f64,
     },
+    /// An I/O operation on a file-backed image failed.
+    ImageIo {
+        /// Which operation ("create", "write", "read", "sync", "remove").
+        op: &'static str,
+    },
+    /// The image file is shorter than a full header.
+    ImageHeaderTruncated {
+        /// Actual file length in bytes.
+        len: u64,
+    },
+    /// The image header does not start with the `PLPNVM1\0` magic.
+    ImageBadMagic,
+    /// The image header carries an unsupported format version.
+    ImageBadVersion {
+        /// The rejected version.
+        version: u32,
+    },
+    /// The image header fails its checksum or field validation — a torn
+    /// or corrupted header, distinct from a merely truncated file.
+    ImageHeaderCorrupt,
 }
 
 impl std::fmt::Display for NvmError {
@@ -270,6 +290,19 @@ impl std::fmt::Display for NvmError {
             }
             NvmError::BadFaultProbability { probability } => {
                 write!(f, "read-fault probability {probability} outside [0, 1]")
+            }
+            NvmError::ImageIo { op } => {
+                write!(f, "image file {op} failed")
+            }
+            NvmError::ImageHeaderTruncated { len } => {
+                write!(f, "image file too short for a header ({len} bytes)")
+            }
+            NvmError::ImageBadMagic => write!(f, "image file lacks the PLPNVM1 magic"),
+            NvmError::ImageBadVersion { version } => {
+                write!(f, "image format version {version} is not supported")
+            }
+            NvmError::ImageHeaderCorrupt => {
+                write!(f, "image header failed checksum or field validation")
             }
         }
     }

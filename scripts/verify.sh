@@ -6,9 +6,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
-cargo clippy --all-targets -- -D warnings
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
 
 # Repo-wide custom lint pass: persist-math cast hygiene, no panics in
 # library code, exhaustive UpdateScheme matches, banned nondeterminism,
@@ -39,6 +39,28 @@ cmp "$clean_out" "$chaos_out" || {
   echo "verify: chaos sweep stdout diverged from the clean run"; exit 1
 }
 rm -rf "$clean_out" "$chaos_out" "$chaos_dir"
+
+# Crash-harness gate: a reduced real-process SIGKILL sweep (two
+# failpoints, one hit, all five swept schemes). Children are forked,
+# killed mid-persist, and their file-backed device images replayed;
+# the binary exits non-zero unless every correct engine recovers
+# Clean/Repaired with model-matching counters and the unordered
+# strawman demonstrably (but detectably) loses data. Also GCs stale
+# crash images and quarantined cache entries. See DESIGN.md §11.
+./target/release/crash_harness 8000 7 --points mid-tuple,post-root-seal --hits 5 > /dev/null || {
+  echo "verify: crash-harness SIGKILL sweep failed"; exit 1
+}
+
+# No-kill identity: attaching the file-backed medium must not perturb
+# the simulation — a child run with an image is stdout byte-identical
+# to the same run purely in memory.
+id_img="$(mktemp -u).img"
+id_a=$(./target/release/crash_harness --child --scheme sp --benchmark gcc --instructions 4000 --seed 7)
+id_b=$(./target/release/crash_harness --child --scheme sp --benchmark gcc --instructions 4000 --seed 7 --image "$id_img")
+rm -f "$id_img"
+[ "$id_a" = "$id_b" ] || {
+  echo "verify: file-backed child stdout diverged from the in-memory run"; exit 1
+}
 
 # Perf gate: the hotpath microbench writes BENCH_hotpath.json and
 # fails on a >10% per-scheme regression of the load-normalized

@@ -1,4 +1,4 @@
-//! The seven workspace lint rules.
+//! The eight workspace lint rules.
 //!
 //! Each rule is a pattern over the lexed [`SourceModel`] (comments and
 //! literals already blanked, test regions marked). Rules fire only
@@ -42,11 +42,19 @@ pub const NO_NODE_HASHMAP: RuleId = "no-node-hashmap";
 /// it for exit codes). The SIGKILL protocol must stay auditable in
 /// one place.
 pub const NO_RAW_PROCESS_KILL: RuleId = "no-raw-process-kill";
+/// Per-shard simulation state is the sharded coordinator's exclusive
+/// domain: the stepping API (`step_store`/`step_load`) and the seal
+/// plumbing (`enable_seal_log`/`drain_seals_into`/
+/// `last_completion_cycle`) may only be referenced from the
+/// coordinator module and their definition site. Anywhere else, a
+/// caller driving a shard directly bypasses the root-of-roots epoch
+/// barrier the coordinator enforces.
+pub const NO_CROSS_SHARD_STATE: RuleId = "no-cross-shard-state";
 /// An allow directive without a reason.
 pub const ALLOW_REASON: RuleId = "allow-reason";
 
 /// All real rules, in reporting order ([`ALLOW_REASON`] is meta).
-pub const RULES: [RuleId; 7] = [
+pub const RULES: [RuleId; 8] = [
     NO_PANIC_LIB,
     NARROWING_CAST,
     SCHEME_MATCH_WILDCARD,
@@ -54,6 +62,16 @@ pub const RULES: [RuleId; 7] = [
     NO_BARE_RETRY_LOOP,
     NO_NODE_HASHMAP,
     NO_RAW_PROCESS_KILL,
+    NO_CROSS_SHARD_STATE,
+];
+
+/// The per-shard stepping/seal API ([`NO_CROSS_SHARD_STATE`]).
+const SHARD_STATE_API: [&str; 5] = [
+    "step_store(",
+    "step_load(",
+    "enable_seal_log(",
+    "drain_seals_into(",
+    "last_completion_cycle(",
 ];
 
 /// One rule hit.
@@ -83,6 +101,10 @@ pub struct FileScope {
     /// The crash-harness module or its binary — the only code allowed
     /// to SIGKILL processes ([`NO_RAW_PROCESS_KILL`]).
     pub harness: bool,
+    /// The sharded coordinator or the per-shard stepping API's
+    /// definition site — the only code allowed to touch per-shard
+    /// state directly ([`NO_CROSS_SHARD_STATE`]).
+    pub coordinator: bool,
 }
 
 impl FileScope {
@@ -93,10 +115,13 @@ impl FileScope {
             && (path.starts_with("crates/core/") || path.starts_with("crates/bmt/"));
         let harness = path.starts_with("crates/bench/src/crash")
             || path.starts_with("crates/bench/src/bin/crash_harness");
+        let coordinator = path == "crates/core/src/shard.rs"
+            || path == "crates/core/src/system.rs";
         FileScope {
             library,
             address_math,
             harness,
+            coordinator,
         }
     }
 }
@@ -153,6 +178,13 @@ pub fn run(path: &str, model: &SourceModel, scope: FileScope) -> Vec<Finding> {
         }
         if scope.library && is_bare_retry_loop(code) {
             push(NO_BARE_RETRY_LOOP, idx, "bare retry loop");
+        }
+        if scope.library && !scope.coordinator {
+            for pat in SHARD_STATE_API {
+                for _ in code.matches(pat) {
+                    push(NO_CROSS_SHARD_STATE, idx, pat.trim_end_matches('('));
+                }
+            }
         }
         if !scope.harness {
             for pat in ["libc::kill", ".kill()"] {
@@ -263,6 +295,7 @@ mod tests {
         library: true,
         address_math: true,
         harness: false,
+        coordinator: false,
     };
 
     fn hits(src: &str, scope: FileScope) -> Vec<Finding> {
@@ -457,6 +490,48 @@ mod tests {
             );
             assert!(f.iter().all(|f| f.rule != NO_RAW_PROCESS_KILL));
         }
+    }
+
+    #[test]
+    fn shard_state_access_is_flagged_outside_the_coordinator() {
+        let src = concat!(
+            "fn f(sim: &mut Simulation) {\n",
+            "    sim.enable_seal_log();\n",
+            "    let out = sim.step_store(addr, false, now, clock);\n",
+            "    sim.step_load(addr, now);\n",
+            "    sim.drain_seals_into(&mut buf);\n",
+            "    let c = sim.last_completion_cycle();\n",
+            "}\n",
+        );
+        let f = hits(src, LIB);
+        let shard: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == NO_CROSS_SHARD_STATE)
+            .collect();
+        assert_eq!(shard.len(), 5, "{shard:?}");
+    }
+
+    #[test]
+    fn coordinator_files_may_step_shards() {
+        for path in ["crates/core/src/shard.rs", "crates/core/src/system.rs"] {
+            let scope = FileScope::classify(path);
+            assert!(scope.coordinator, "{path} must classify as coordinator");
+            let f = run(
+                path,
+                &SourceModel::parse("let out = sim.step_store(addr, false, now, clock);\n"),
+                scope,
+            );
+            assert!(f.iter().all(|f| f.rule != NO_CROSS_SHARD_STATE));
+        }
+        // Binaries never see the pub(crate) API; the rule is scoped to
+        // library code so it cannot fire on test harness text either.
+        let scope = FileScope::classify("crates/bench/src/bin/all.rs");
+        let f = run(
+            "crates/bench/src/bin/all.rs",
+            &SourceModel::parse("x.step_load(addr, now);\n"),
+            scope,
+        );
+        assert!(f.iter().all(|f| f.rule != NO_CROSS_SHARD_STATE));
     }
 
     #[test]

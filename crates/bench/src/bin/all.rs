@@ -15,20 +15,28 @@
 //! additionally makes N runs unrecoverable to demonstrate graceful
 //! degradation (partial output, exit code 3).
 //!
+//! Sharded mode (`--streams N --shards M`) fans every run out over the
+//! sharded coordinator: N client streams over M per-shard engines under
+//! one root-of-roots. `--streams 1 --shards 1` is the unsharded
+//! simulator — stdout is byte-identical to omitting the flags, and the
+//! run-cache keys are unchanged.
+//!
 //! Exit codes: 0 clean (all faults, if any, recovered), 1 sanitizer
 //! violation, 2 usage, 3 degraded (some runs produced no report).
 //!
 //! Usage: `all [instructions] [seed] [--serial] [--threads N]
-//! [--no-cache] [--chaos SEED] [--chaos-hard N] [--watchdog-ms N]`
+//! [--no-cache] [--chaos SEED] [--chaos-hard N] [--watchdog-ms N]
+//! [--streams N] [--shards M]`
 
 use std::time::Duration;
 
 use plp_bench::{all_specs, matrix, ChaosOptions, MatrixOptions, RunSettings, SupervisorOptions};
+use plp_core::ShardTopology;
 
 fn usage() -> ! {
     eprintln!(
         "usage: all [instructions] [seed] [--serial] [--threads N] [--no-cache] \
-         [--chaos SEED] [--chaos-hard N] [--watchdog-ms N]"
+         [--chaos SEED] [--chaos-hard N] [--watchdog-ms N] [--streams N] [--shards M]"
     );
     std::process::exit(2);
 }
@@ -53,6 +61,8 @@ fn main() {
     let mut chaos_seed: Option<u64> = None;
     let mut chaos_hard = 0usize;
     let mut watchdog_ms: Option<u64> = None;
+    let mut streams = 1u32;
+    let mut shards = 1u32;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,6 +83,14 @@ fn main() {
             },
             "--watchdog-ms" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => watchdog_ms = Some(n),
+                _ => usage(),
+            },
+            "--streams" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => streams = n,
+                _ => usage(),
+            },
+            "--shards" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => shards = n,
                 _ => usage(),
             },
             _ => match (arg.parse::<u64>(), positionals) {
@@ -108,11 +126,44 @@ fn main() {
         sup.watchdog = Duration::from_millis(ms);
     }
 
+    let topology = ShardTopology::new(streams, shards);
     let mut requests = Vec::new();
     for spec in all_specs() {
-        requests.extend(spec.runs_needed(settings));
+        requests.extend(
+            spec.runs_needed(settings)
+                .into_iter()
+                .map(|req| req.with_topology(topology)),
+        );
     }
-    let (results, stats, degradation) = matrix::execute_supervised(&requests, &sup);
+    let (mut results, stats, degradation) = matrix::execute_supervised(&requests, &sup);
+
+    // Sanitizer tallies come off the executed result set before any
+    // re-keying, so each run is counted exactly once.
+    let (mut checked, mut violations) = (0u64, 0u64);
+    let mut offenders = Vec::new();
+    let executed_runs = results.len();
+    for (key, report) in results.iter() {
+        let s = &report.sanitizer;
+        checked += s.checked_persists + s.checked_node_updates + s.checked_epochs;
+        violations += s.total_violations();
+        if s.total_violations() > 0 {
+            offenders.push((key.clone(), s.clone()));
+        }
+    }
+
+    // Specs render by unit-topology keys; under a sharded run, alias
+    // each executed (sharded) report back under its unit key.
+    if !topology.is_unit() {
+        for spec in all_specs() {
+            for req in spec.runs_needed(settings) {
+                let sharded = req.clone().with_topology(topology);
+                if results.contains(&sharded) {
+                    let report = results.get(&sharded).clone();
+                    results.insert(&req, report);
+                }
+            }
+        }
+    }
 
     // Render only the artefacts whose every run survived; a spec with
     // missing runs is skipped (noted on stderr below) instead of
@@ -152,24 +203,12 @@ fn main() {
     // with sanitizer-off runs. Any invariant violation fails the
     // invocation: the numbers above would be measurements of a broken
     // ordering model.
-    let (mut checked, mut violations) = (0u64, 0u64);
-    let mut offenders = Vec::new();
-    for (key, report) in results.iter() {
-        let s = &report.sanitizer;
-        checked += s.checked_persists + s.checked_node_updates + s.checked_epochs;
-        violations += s.total_violations();
-        if s.total_violations() > 0 {
-            offenders.push((key.as_str(), s));
-        }
-    }
     eprintln!(
         "[plp-bench] sanitizer: {} events checked across {} runs, {} violations",
-        checked,
-        results.len(),
-        violations
+        checked, executed_runs, violations
     );
     if violations > 0 {
-        offenders.sort_unstable_by_key(|(key, _)| *key);
+        offenders.sort_unstable_by_key(|(key, _)| key.clone());
         for (key, s) in offenders {
             eprintln!(
                 "[plp-bench]   {} violations ({} detailed, {} dropped) in {key}",

@@ -25,7 +25,7 @@ pub use matrix::{
     execute, execute_supervised, default_cache_dir, time_sweep, MatrixOptions, MatrixStats,
     ResultSet, RunRequest, SweepTiming,
 };
-pub use specs::{all_specs, ExperimentSpec};
+pub use specs::{all_specs, shard_spec, ExperimentSpec};
 pub use supervisor::{DegradationReport, RunError, RunVerdict, SupervisorOptions};
 
 /// Harness-wide run settings, parsed from the command line.

@@ -1,0 +1,89 @@
+//! The sharded coordinator's compatibility and determinism
+//! guarantees at the harness layer:
+//!
+//! * a `--streams 1 --shards 1` request is the *same request* as an
+//!   unsharded one — same cache key, same report, byte-identical
+//!   rendered artefacts;
+//! * sharded runs are deterministic: worker-thread count, repetition
+//!   and cache state cannot move a single field of any report.
+
+use plp_bench::{matrix, specs, MatrixOptions, RunSettings};
+use plp_core::ShardTopology;
+
+#[test]
+fn unit_topology_is_the_unsharded_request() {
+    let s = RunSettings {
+        instructions: 2_000,
+        seed: 3,
+    };
+    let spec = specs::find("fig10").expect("registered");
+    let plain = spec.runs_needed(s);
+    let unit: Vec<_> = plain
+        .iter()
+        .map(|r| r.clone().with_topology(ShardTopology::unit()))
+        .collect();
+
+    // Identical keys: the unit topology leaves the pre-sharding cache
+    // key untouched, so existing on-disk caches keep hitting.
+    for (a, b) in plain.iter().zip(&unit) {
+        assert_eq!(a.key(), b.key());
+        assert!(!a.key().contains("streams="));
+    }
+
+    // Identical reports and artefact bytes.
+    let (plain_results, _) = matrix::execute(&plain, &MatrixOptions::serial());
+    let (unit_results, _) = matrix::execute(&unit, &MatrixOptions::serial());
+    for (a, b) in plain.iter().zip(&unit) {
+        assert_eq!(plain_results.get(a), unit_results.get(b));
+    }
+    assert_eq!(
+        spec.output(&plain_results, s),
+        spec.output(&unit_results, s),
+        "unit topology moved a rendered artefact byte"
+    );
+}
+
+#[test]
+fn sharded_matrix_is_deterministic_across_threads_and_repeats() {
+    let s = RunSettings {
+        instructions: 4_000,
+        seed: 5,
+    };
+    // A reduced sweep: every topology point, one scheme, one bench.
+    let requests: Vec<_> = specs::shard_spec()
+        .runs_needed(s)
+        .into_iter()
+        .filter(|r| r.bench == "gcc" && r.config.scheme == plp_core::UpdateScheme::O3)
+        .collect();
+    assert_eq!(requests.len(), 4, "one request per topology point");
+
+    let (serial, _) = matrix::execute(&requests, &MatrixOptions::serial());
+    let (parallel, _) = matrix::execute(
+        &requests,
+        &MatrixOptions {
+            threads: 4,
+            cache_dir: None,
+        },
+    );
+    let (again, _) = matrix::execute(&requests, &MatrixOptions::serial());
+    for req in &requests {
+        assert_eq!(serial.get(req), parallel.get(req), "{}", req.key());
+        assert_eq!(serial.get(req), again.get(req), "{}", req.key());
+        assert!(
+            serial.get(req).sanitizer.is_clean(),
+            "correct coordinator flagged: {}",
+            req.key()
+        );
+    }
+
+    // Stream count scales simulated work: the 8x8 point retires ~8x
+    // the instructions of the 1x1 point.
+    let unit = requests.iter().find(|r| r.topology.is_unit()).unwrap();
+    let eight = requests
+        .iter()
+        .find(|r| r.topology == ShardTopology::new(8, 8))
+        .unwrap();
+    let unit_instr = serial.get(unit).instructions;
+    let eight_instr = serial.get(eight).instructions;
+    assert!(eight_instr > 7 * unit_instr);
+}

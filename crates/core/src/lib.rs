@@ -51,6 +51,7 @@ mod report;
 pub mod retry;
 pub mod sanitizer;
 pub mod sgx;
+pub mod shard;
 mod system;
 mod tuple;
 mod wpq;
@@ -71,6 +72,7 @@ pub use report::RunReport;
 pub use sanitizer::{
     Sanitizer, SanitizerMode, SanitizerSummary, SchemeContract, Violation, ViolationKind,
 };
+pub use shard::{ShardMutation, ShardTopology, ShardedSetup};
 pub use system::{run_benchmark, run_trace, run_with_crash, FinishedSim, SimSetup, Simulation};
 pub use tuple::{EpochId, PersistId, PersistRecord, TupleTimes};
 pub use wpq::{Wpq, WpqEntry};

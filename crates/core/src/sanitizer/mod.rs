@@ -164,11 +164,19 @@ pub enum ViolationKind {
     /// WAW safety: a cross-epoch out-of-order write to the same BMT
     /// node.
     WawHazard,
+    /// Sharded topology: within one client stream, a shard's ordered
+    /// persists completed out of program order (Invariants 1 & 2 must
+    /// hold per stream within each shard).
+    StreamOrder,
+    /// Sharded topology: a root-of-roots update regressed or ignored
+    /// the cross-shard epoch barrier (no shard may seal epoch E+1's
+    /// root before every shard has durably sealed E).
+    CrossShardRootOrder,
 }
 
 impl ViolationKind {
     /// Every kind, in a stable order (codec + reporting).
-    pub const ALL: [ViolationKind; 7] = [
+    pub const ALL: [ViolationKind; 9] = [
         ViolationKind::TupleIncomplete,
         ViolationKind::RootOrder,
         ViolationKind::LevelOrder,
@@ -176,6 +184,8 @@ impl ViolationKind {
         ViolationKind::EpochLevelOrder,
         ViolationKind::EpochCompletionOrder,
         ViolationKind::WawHazard,
+        ViolationKind::StreamOrder,
+        ViolationKind::CrossShardRootOrder,
     ];
 
     /// Stable machine name.
@@ -188,6 +198,8 @@ impl ViolationKind {
             ViolationKind::EpochLevelOrder => "epoch_level_order",
             ViolationKind::EpochCompletionOrder => "epoch_completion_order",
             ViolationKind::WawHazard => "waw_hazard",
+            ViolationKind::StreamOrder => "stream_order",
+            ViolationKind::CrossShardRootOrder => "cross_shard_root_order",
         }
     }
 
@@ -320,6 +332,20 @@ impl SanitizerSummary {
     pub fn is_clean(&self) -> bool {
         self.total_violations() == 0
     }
+
+    /// Folds another summary in (the sharded coordinator merges one
+    /// per shard plus its own cross-shard checks). Counts and stored
+    /// violations add; the mode stays `Check` if either side checked.
+    pub fn merge(&mut self, other: &SanitizerSummary) {
+        if other.mode.is_on() {
+            self.mode = other.mode;
+        }
+        self.checked_persists += other.checked_persists;
+        self.checked_node_updates += other.checked_node_updates;
+        self.checked_epochs += other.checked_epochs;
+        self.dropped_violations += other.dropped_violations;
+        self.violations.extend(other.violations.iter().copied());
+    }
 }
 
 #[cfg(test)]
@@ -371,6 +397,33 @@ mod tests {
         assert_eq!(s.count_of(ViolationKind::RootOrder), 0);
         assert!(!s.is_clean());
         assert!(SanitizerSummary::off().mode == SanitizerMode::Off);
+    }
+
+    #[test]
+    fn summaries_merge_across_shards() {
+        let mut merged = SanitizerSummary::off();
+        let mut shard = SanitizerSummary {
+            checked_persists: 10,
+            checked_epochs: 2,
+            ..SanitizerSummary::default()
+        };
+        shard.violations.push(Violation {
+            kind: ViolationKind::CrossShardRootOrder,
+            scheme: UpdateScheme::O3,
+            cycle: Cycle::new(5),
+            epoch: EpochId(1),
+            persist: NO_FIELD,
+            level: 0,
+            node: NO_FIELD,
+            addr: NO_FIELD,
+        });
+        merged.merge(&shard);
+        merged.merge(&shard);
+        assert_eq!(merged.mode, SanitizerMode::Check);
+        assert_eq!(merged.checked_persists, 20);
+        assert_eq!(merged.checked_epochs, 4);
+        assert_eq!(merged.count_of(ViolationKind::CrossShardRootOrder), 2);
+        assert!(!merged.is_clean());
     }
 
     #[test]

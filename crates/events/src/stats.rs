@@ -5,6 +5,8 @@
 //! distributions) and [`RunningMean`] (streaming mean/min/max). All are
 //! `serde`-serializable so the benchmark harness can dump raw results.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 /// A monotonically increasing event counter.
@@ -332,6 +334,72 @@ impl Throughput {
     }
 }
 
+/// Throughput broken down per shard, for sharded-topology sweeps.
+///
+/// Keys are shard ids in a `BTreeMap`, so iteration (and any report
+/// rendered from it) is deterministic regardless of recording order.
+/// Unsharded runs record under shard 0 and behave exactly like a plain
+/// [`Throughput`].
+///
+/// # Example
+///
+/// ```
+/// use plp_events::stats::ShardedThroughput;
+/// use std::time::Duration;
+///
+/// let mut t = ShardedThroughput::new();
+/// t.record(1, 2_000, Duration::from_millis(2));
+/// t.record(0, 1_000, Duration::from_millis(1));
+/// let shards: Vec<u32> = t.shards().map(|(s, _)| s).collect();
+/// assert_eq!(shards, [0, 1]); // deterministic key order
+/// assert_eq!(t.merged().sim_cycles(), 3_000);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardedThroughput {
+    per_shard: BTreeMap<u32, Throughput>,
+}
+
+impl ShardedThroughput {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed run attributed to `shard`.
+    pub fn record(&mut self, shard: u32, sim_cycles: u64, wall: std::time::Duration) {
+        self.per_shard
+            .entry(shard)
+            .or_default()
+            .record(sim_cycles, wall);
+    }
+
+    /// Folds another sharded accumulator in, shard by shard.
+    pub fn merge(&mut self, other: &ShardedThroughput) {
+        for (&shard, t) in &other.per_shard {
+            self.per_shard.entry(shard).or_default().merge(*t);
+        }
+    }
+
+    /// Per-shard accumulators in ascending shard-id order.
+    pub fn shards(&self) -> impl Iterator<Item = (u32, &Throughput)> {
+        self.per_shard.iter().map(|(&s, t)| (s, t))
+    }
+
+    /// Number of shards with at least one recorded run.
+    pub fn shard_count(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// The merged total across every shard.
+    pub fn merged(&self) -> Throughput {
+        let mut total = Throughput::new();
+        for t in self.per_shard.values() {
+            total.merge(*t);
+        }
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,5 +479,25 @@ mod tests {
         assert!((a.cycles_per_sec() - 500.0).abs() < 1e-9);
         assert!((a.runs_per_sec() - 0.75).abs() < 1e-12);
         assert_eq!(Throughput::new().cycles_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn sharded_throughput_orders_and_merges() {
+        use std::time::Duration;
+        let mut t = ShardedThroughput::new();
+        t.record(3, 300, Duration::from_millis(3));
+        t.record(1, 100, Duration::from_millis(1));
+        t.record(1, 100, Duration::from_millis(1));
+        let mut u = ShardedThroughput::new();
+        u.record(0, 50, Duration::from_millis(5));
+        u.record(3, 300, Duration::from_millis(3));
+        t.merge(&u);
+        let shards: Vec<(u32, u64)> = t.shards().map(|(s, tp)| (s, tp.runs())).collect();
+        assert_eq!(shards, [(0, 1), (1, 2), (3, 2)]);
+        assert_eq!(t.shard_count(), 3);
+        let merged = t.merged();
+        assert_eq!(merged.runs(), 5);
+        assert_eq!(merged.sim_cycles(), 850);
+        assert_eq!(merged.wall(), Duration::from_millis(13));
     }
 }

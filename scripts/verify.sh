@@ -40,6 +40,42 @@ cmp "$clean_out" "$chaos_out" || {
 }
 rm -rf "$clean_out" "$chaos_out" "$chaos_dir"
 
+# Sharded-topology gate. Three parts:
+#   1. `all --streams 1 --shards 1` must be stdout byte-identical to
+#      the plain run — the unit topology IS the unsharded simulator.
+#   2. A reduced 4-streams x 4-shards sweep (sanitizer on, per-spec
+#      default) must exit 0: every scheme's cross-shard run upholds
+#      stream persist-order and root-of-roots epoch ordering.
+#   3. The same sharded sweep under the chaos plan must still exit 0
+#      with byte-identical stdout (supervisor recovery is
+#      topology-blind).
+# The shard_sweep binary additionally mutation-tests the new sanitizer
+# rules and records per-shard throughput under results/.
+unit_out=$(mktemp)
+shard_out=$(mktemp)
+shard_chaos_out=$(mktemp)
+shard_dir=$(mktemp -d)
+repo_root=$(pwd)
+cargo run --release -q -p plp-bench --bin all -- 10000 7 --no-cache --streams 1 --shards 1 > "$unit_out"
+clean_ref=$(mktemp)
+cargo run --release -q -p plp-bench --bin all -- 10000 7 --no-cache > "$clean_ref"
+cmp "$clean_ref" "$unit_out" || {
+  echo "verify: --streams 1 --shards 1 stdout diverged from the unsharded run"; exit 1
+}
+(cd "$shard_dir" && "$repo_root/target/release/all" 6000 7 --streams 4 --shards 4 2> shard.err > "$shard_out") || {
+  echo "verify: sharded 4x4 sweep failed (exit $?)"; cat "$shard_dir/shard.err" >&2; exit 1
+}
+(cd "$shard_dir" && "$repo_root/target/release/all" 6000 7 --streams 4 --shards 4 --chaos 0xC0FFEE 2> shard_chaos.err > "$shard_chaos_out") || {
+  echo "verify: sharded 4x4 chaos sweep failed (exit $?)"; cat "$shard_dir/shard_chaos.err" >&2; exit 1
+}
+cmp "$shard_out" "$shard_chaos_out" || {
+  echo "verify: sharded chaos sweep stdout diverged from the clean sharded run"; exit 1
+}
+./target/release/shard_sweep 6000 7 > /dev/null || {
+  echo "verify: shard_sweep (scaling table + cross-shard mutation checks) failed"; exit 1
+}
+rm -rf "$unit_out" "$clean_ref" "$shard_out" "$shard_chaos_out" "$shard_dir"
+
 # Crash-harness gate: a reduced real-process SIGKILL sweep (two
 # failpoints, one hit, all five swept schemes). Children are forked,
 # killed mid-persist, and their file-backed device images replayed;

@@ -6,18 +6,54 @@
 //! build failure. With `--json <path>` it also writes the machine
 //! summary (`results/analysis.json` in the standard invocation).
 //!
-//! Usage: `plp-lint [--root <dir>] [--json <path>]`
+//! With `--self-test <dir>` it instead runs the fixture corpus under
+//! `<dir>` (see [`plp_analyze::lint::selftest`]): `fire/` mutants must
+//! produce exactly their `//~ ERROR` markers and `clean/` fixtures must
+//! lint silent; any divergence is printed and exits nonzero.
+//!
+//! Usage: `plp-lint [--root <dir>] [--json <path>] [--self-test <dir>]`
 
 use plp_analyze::lint;
 
 fn usage() -> ! {
-    eprintln!("usage: plp-lint [--root <dir>] [--json <path>]");
+    eprintln!("usage: plp-lint [--root <dir>] [--json <path>] [--self-test <dir>]");
     std::process::exit(2);
+}
+
+fn self_test(dir: &std::path::Path) -> ! {
+    let st = match lint::selftest::run_corpus(dir) {
+        Ok(st) => st,
+        Err(e) => {
+            eprintln!("plp-lint: cannot read corpus under {dir:?}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if st.fixtures == 0 {
+        eprintln!("plp-lint: no fixtures found under {dir:?}");
+        std::process::exit(2);
+    }
+    for m in &st.mismatches {
+        println!("{}: {}", m.fixture, m.detail);
+    }
+    if !st.mismatches.is_empty() {
+        eprintln!(
+            "plp-lint: self-test FAIL — {} mismatch(es) across {} fixtures",
+            st.mismatches.len(),
+            st.fixtures
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "plp-lint: self-test OK — {} fixtures, {} expected findings all matched",
+        st.fixtures, st.expected
+    );
+    std::process::exit(0);
 }
 
 fn main() {
     let mut root = std::path::PathBuf::from(".");
     let mut json_path: Option<std::path::PathBuf> = None;
+    let mut corpus: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,8 +65,15 @@ fn main() {
                 Some(p) => json_path = Some(p.into()),
                 None => usage(),
             },
+            "--self-test" => match args.next() {
+                Some(d) => corpus = Some(d.into()),
+                None => usage(),
+            },
             _ => usage(),
         }
+    }
+    if let Some(dir) = corpus {
+        self_test(&dir);
     }
 
     let reports = match lint::lint_workspace(&root) {

@@ -21,7 +21,11 @@
 //! so every exception documents itself. Rule identifiers and their
 //! definitions live in [`lint::rules`].
 
+pub mod cfg;
+pub mod dataflow;
 pub mod lint;
+pub mod passes;
+pub mod syntax;
 
 pub use lint::rules::{Finding, RuleId, RULES};
 pub use lint::scan::SourceModel;

@@ -50,11 +50,25 @@ pub const NO_RAW_PROCESS_KILL: RuleId = "no-raw-process-kill";
 /// caller driving a shard directly bypasses the root-of-roots epoch
 /// barrier the coordinator enforces.
 pub const NO_CROSS_SHARD_STATE: RuleId = "no-cross-shard-state";
+/// On every path through an `UpdateEngine` persist method, each
+/// update must be reported through `EngineCtx::note_update` before the
+/// batch is sealed, and no early return may leave noted updates
+/// unsealed. Checked by CFG dataflow in `passes::engine_contract`.
+pub const ENGINE_CONTRACT: RuleId = "engine-contract";
+/// Every path through the system persist drivers (`persist_block`,
+/// `seal_epoch`) must cross at least one named failpoint from the
+/// crash-harness catalog, so SIGKILL sweeps can never silently lose
+/// coverage of a new code path. Checked in `passes::failpoint_cover`.
+pub const FAILPOINT_COVERAGE: RuleId = "failpoint-coverage";
+/// A `// lint: allow(...)` directive that no longer suppresses any
+/// finding is stale and must be deleted; an allow naming an unknown
+/// rule never suppressed anything. Checked in `passes::unused_allow`.
+pub const UNUSED_ALLOW: RuleId = "unused-allow";
 /// An allow directive without a reason.
 pub const ALLOW_REASON: RuleId = "allow-reason";
 
 /// All real rules, in reporting order ([`ALLOW_REASON`] is meta).
-pub const RULES: [RuleId; 8] = [
+pub const RULES: [RuleId; 11] = [
     NO_PANIC_LIB,
     NARROWING_CAST,
     SCHEME_MATCH_WILDCARD,
@@ -63,7 +77,30 @@ pub const RULES: [RuleId; 8] = [
     NO_NODE_HASHMAP,
     NO_RAW_PROCESS_KILL,
     NO_CROSS_SHARD_STATE,
+    ENGINE_CONTRACT,
+    FAILPOINT_COVERAGE,
+    UNUSED_ALLOW,
 ];
+
+/// Default diagnostic code for a rule's lexical findings. Semantic
+/// passes attach more specific codes (`PLP-E001`…); this covers the
+/// scanner-produced rules and the meta rule.
+pub fn code_for(rule: RuleId) -> &'static str {
+    match rule {
+        NO_PANIC_LIB => "PLP-L001",
+        SCHEME_MATCH_WILDCARD => "PLP-L002",
+        NONDETERMINISM => "PLP-L003",
+        NO_BARE_RETRY_LOOP => "PLP-L004",
+        NO_NODE_HASHMAP => "PLP-L005",
+        NO_RAW_PROCESS_KILL => "PLP-L006",
+        NO_CROSS_SHARD_STATE => "PLP-L007",
+        NARROWING_CAST => "PLP-C001",
+        ENGINE_CONTRACT => "PLP-E000",
+        FAILPOINT_COVERAGE => "PLP-F001",
+        UNUSED_ALLOW => "PLP-A002",
+        _ => "PLP-A001",
+    }
+}
 
 /// The per-shard stepping/seal API ([`NO_CROSS_SHARD_STATE`]).
 const SHARD_STATE_API: [&str; 5] = [
@@ -79,10 +116,14 @@ const SHARD_STATE_API: [&str; 5] = [
 pub struct Finding {
     /// Which rule fired.
     pub rule: RuleId,
+    /// Stable diagnostic code (`PLP-L001`, `PLP-E002`, …).
+    pub code: &'static str,
     /// Repo-relative path.
     pub path: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column; 0 when the finding is line-granular.
+    pub col: usize,
     /// The offending pattern, for the report.
     pub snippet: String,
     /// Whether a reasoned allow directive covers the hit.
@@ -105,6 +146,16 @@ pub struct FileScope {
     /// definition site — the only code allowed to touch per-shard
     /// state directly ([`NO_CROSS_SHARD_STATE`]).
     pub coordinator: bool,
+    /// An `UpdateEngine` implementation file — subject to the
+    /// persist-order contract ([`ENGINE_CONTRACT`]).
+    pub engine: bool,
+    /// The deliberate bug factory (`engine/mutant.rs`): its seeded
+    /// contract violations are the sanitizer's test corpus, so the
+    /// engine-contract pass skips it by design.
+    pub mutant_factory: bool,
+    /// The system persist drivers — subject to failpoint-coverage
+    /// ([`FAILPOINT_COVERAGE`]).
+    pub persist_driver: bool,
 }
 
 impl FileScope {
@@ -117,11 +168,17 @@ impl FileScope {
             || path.starts_with("crates/bench/src/bin/crash_harness");
         let coordinator = path == "crates/core/src/shard.rs"
             || path == "crates/core/src/system.rs";
+        let engine = path.starts_with("crates/core/src/engine/");
+        let mutant_factory = path == "crates/core/src/engine/mutant.rs";
+        let persist_driver = path == "crates/core/src/system.rs";
         FileScope {
             library,
             address_math,
             harness,
             coordinator,
+            engine,
+            mutant_factory,
+            persist_driver,
         }
     }
 }
@@ -133,8 +190,14 @@ pub fn run(path: &str, model: &SourceModel, scope: FileScope) -> Vec<Finding> {
     let mut push = |rule: RuleId, line: usize, snippet: &str| {
         findings.push(Finding {
             rule,
+            code: if rule == ALLOW_REASON {
+                "PLP-A001"
+            } else {
+                code_for(rule)
+            },
             path: path.to_string(),
             line: line + 1,
+            col: 0,
             snippet: snippet.to_string(),
             allowed: model.allows(line, rule),
         });
@@ -164,9 +227,10 @@ pub fn run(path: &str, model: &SourceModel, scope: FileScope) -> Vec<Finding> {
             }
         }
         if scope.address_math {
-            for cast in narrowing_casts(code) {
-                push(NARROWING_CAST, idx, &cast);
-            }
+            // Narrowing casts are the semantic pass's job now
+            // (`passes::narrowing`, PLP-C001) — it proves most casts
+            // safe from declared types and reaching definitions
+            // instead of flagging every `as` textually.
             for hit in node_map_types(code) {
                 push(NO_NODE_HASHMAP, idx, &hit);
             }
@@ -268,24 +332,9 @@ fn node_map_types(code: &str) -> Vec<String> {
     out
 }
 
-/// The integer types an `as` cast may silently truncate to.
-const NARROW: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
-
-/// Every `… as <narrow-int>` occurrence on a blanked code line.
-fn narrowing_casts(code: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    for (pos, _) in code.match_indices(" as ") {
-        let rest = &code[pos + 4..];
-        let ty: String = rest
-            .chars()
-            .take_while(|c| c.is_alphanumeric() || *c == '_')
-            .collect();
-        if NARROW.contains(&ty.as_str()) {
-            out.push(format!("as {ty}"));
-        }
-    }
-    out
-}
+/// The integer types an `as` cast may silently truncate to — shared
+/// with the semantic narrowing pass.
+pub const NARROW: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
 
 #[cfg(test)]
 mod tests {
@@ -296,6 +345,9 @@ mod tests {
         address_math: true,
         harness: false,
         coordinator: false,
+        engine: false,
+        mutant_factory: false,
+        persist_driver: false,
     };
 
     fn hits(src: &str, scope: FileScope) -> Vec<Finding> {
@@ -330,13 +382,35 @@ mod tests {
     }
 
     #[test]
-    fn narrowing_casts_only_in_address_crates() {
-        let src = "let x = big as u32; let y = big as u64; let z = n as usize;\n";
+    fn narrowing_is_no_longer_lexical() {
+        // `as u32` on its own no longer fires here: the semantic pass
+        // (`passes::narrowing`) owns PLP-C001 with value-range proofs.
+        let src = "let x = big as u32; let z = n as usize;\n";
         let f = hits(src, LIB);
-        let casts: Vec<_> = f.iter().filter(|f| f.rule == NARROWING_CAST).collect();
-        assert_eq!(casts.len(), 2, "u64 is not narrowing: {casts:?}");
+        assert!(f.iter().all(|f| f.rule != NARROWING_CAST));
         let other = FileScope::classify("crates/trace/src/lib.rs");
         assert!(!other.address_math);
+    }
+
+    #[test]
+    fn scope_flags_for_engine_and_driver_files() {
+        let eng = FileScope::classify("crates/core/src/engine/pipeline.rs");
+        assert!(eng.engine && !eng.mutant_factory);
+        let mutant = FileScope::classify("crates/core/src/engine/mutant.rs");
+        assert!(mutant.engine && mutant.mutant_factory);
+        let sys = FileScope::classify("crates/core/src/system.rs");
+        assert!(sys.persist_driver && sys.coordinator);
+        assert!(!FileScope::classify("crates/core/src/shard.rs").persist_driver);
+    }
+
+    #[test]
+    fn every_rule_has_a_stable_code() {
+        let mut codes: Vec<&str> = RULES.iter().map(|r| code_for(r)).collect();
+        codes.sort_unstable();
+        let before = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), before, "codes must be distinct");
+        assert!(codes.iter().all(|c| c.starts_with("PLP-")));
     }
 
     #[test]

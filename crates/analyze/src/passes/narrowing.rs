@@ -1,0 +1,333 @@
+//! Value-range–backed narrowing-cast analysis (PLP-C001).
+//!
+//! Replaces the old token heuristic ("any `as u32` in an address-math
+//! crate") with a prover: a cast to a narrower integer type is clean
+//! when the operand's value provably fits the target —
+//!
+//! * a literal whose value (or suffix type) fits;
+//! * an identifier whose declared type fits: a parameter, or *every*
+//!   reaching definition (reaching-definitions dataflow), or every
+//!   reaching definition initialized from a fitting literal;
+//! * a `self.field` whose struct-declared type fits;
+//! * a call whose (unambiguous) return type fits;
+//! * `x % k` / `x & m` with a literal bound that fits;
+//! * otherwise, the type of the leftmost operand of a binary
+//!   expression (Rust's arithmetic result type).
+//!
+//! Width table: `usize` is 64-bit as a *source* (conservative: casts
+//! out of `usize` can truncate on 64-bit targets) but 32-bit as a
+//! *target* (conservative: casts into `usize` may land on a 32-bit
+//! target). Unsigned fits same-or-wider unsigned, strictly-wider
+//! signed; signed-to-unsigned is never width-proven (negative values
+//! wrap) — only value proofs accept it.
+
+use crate::cfg::{self, BlockId, Cfg};
+use crate::dataflow::{self, ReachingDefs};
+use crate::lint::rules::{Finding, NARROW, NARROWING_CAST};
+use crate::passes::{base_type, emit, FileUnit, Universe};
+use crate::syntax::lexer::{int_suffix, int_value};
+use crate::syntax::{ExprInfo, Function, TokenKind};
+
+/// `(bits, signed)` of an integer type used as a cast *source*.
+fn src_width(ty: &str) -> Option<(u32, bool)> {
+    Some(match ty {
+        "u8" => (8, false),
+        "u16" => (16, false),
+        "u32" => (32, false),
+        "u64" => (64, false),
+        "u128" => (128, false),
+        "usize" => (64, false),
+        "i8" => (8, true),
+        "i16" => (16, true),
+        "i32" => (32, true),
+        "i64" => (64, true),
+        "i128" => (128, true),
+        "isize" => (64, true),
+        _ => return None,
+    })
+}
+
+/// `(bits, signed)` of an integer type used as a cast *target*.
+fn tgt_width(ty: &str) -> Option<(u32, bool)> {
+    Some(match ty {
+        "usize" => (32, false),
+        "isize" => (32, true),
+        _ => src_width(ty)?,
+    })
+}
+
+/// Whether a source of width `s` always fits a target of width `t`.
+fn widths_fit(s: (u32, bool), t: (u32, bool)) -> bool {
+    match (s.1, t.1) {
+        (false, false) => s.0 <= t.0,
+        (false, true) => s.0 < t.0,
+        (true, true) => s.0 <= t.0,
+        (true, false) => false,
+    }
+}
+
+/// Whether the non-negative value `v` fits the target width.
+fn value_fits(v: u128, t: (u32, bool)) -> bool {
+    let bits = if t.1 { t.0 - 1 } else { t.0 };
+    bits >= 128 || v < (1u128 << bits)
+}
+
+/// One cast-proof context: the function, its CFG and reaching defs,
+/// and the atom holding the cast.
+struct Prover<'a> {
+    u: &'a Universe,
+    unit: &'a FileUnit,
+    f: &'a Function,
+    cfg: &'a Cfg<'a>,
+    rd: &'a ReachingDefs<'a>,
+    block: BlockId,
+    atom: usize,
+    expr: &'a ExprInfo,
+}
+
+impl Prover<'_> {
+    fn kind(&self, i: usize) -> Option<TokenKind> {
+        self.unit.tokens.tokens.get(i).map(|t| t.kind)
+    }
+
+    fn text(&self, i: usize) -> &str {
+        self.unit
+            .tokens
+            .tokens
+            .get(i)
+            .map(|t| t.text(&self.unit.text))
+            .unwrap_or("")
+    }
+
+    /// Whether a declared type is width-safe for the target.
+    fn ty_fits(&self, ty: &str, tgt_name: &str, tgt: (u32, bool)) -> bool {
+        let base = base_type(ty);
+        base == tgt_name || src_width(base).is_some_and(|s| widths_fit(s, tgt))
+    }
+
+    /// The value of a single-literal token range, if it is one.
+    fn literal_value(&self, lo: usize, hi: usize) -> Option<u128> {
+        if hi != lo + 1 || self.kind(lo) != Some(TokenKind::Int) {
+            return None;
+        }
+        int_value(self.text(lo))
+    }
+
+    /// Proves the operand token range `[lo, hi)` fits `tgt`.
+    fn prove(&self, lo: usize, hi: usize, tgt_name: &str, tgt: (u32, bool), depth: u32) -> bool {
+        if depth > 8 || lo >= hi {
+            return false;
+        }
+        // Strip one balanced outer paren/bracket layer.
+        if self.text(lo) == "(" && self.matching(lo, hi) == Some(hi - 1) {
+            return self.prove(lo + 1, hi - 1, tgt_name, tgt, depth + 1);
+        }
+        if hi == lo + 1 {
+            return match self.kind(lo) {
+                Some(TokenKind::Int) => {
+                    let text = self.text(lo);
+                    if let Some(sfx) = int_suffix(text) {
+                        src_width(sfx).is_some_and(|s| widths_fit(s, tgt)) || sfx == tgt_name
+                    } else {
+                        int_value(text).is_some_and(|v| value_fits(v, tgt))
+                    }
+                }
+                Some(TokenKind::Ident) => self.prove_ident(self.text(lo), tgt_name, tgt),
+                _ => false,
+            };
+        }
+        // `self.field` — struct-declared type.
+        if hi == lo + 3 && self.text(lo) == "self" && self.text(lo + 1) == "." {
+            if let Some(owner) = self.f.owner.as_deref() {
+                if let Some(ft) = self.u.field_ty(owner, self.text(lo + 2)) {
+                    return self.ty_fits(ft, tgt_name, tgt);
+                }
+            }
+            return false;
+        }
+        // Binary expression at paren depth 0: `%`/`&` with a literal
+        // bound, otherwise the left operand types the result.
+        if let Some(op) = self.top_level_op(lo, hi) {
+            match self.text(op) {
+                "%" => {
+                    if let Some(v) = self.literal_value(op + 1, hi) {
+                        return v > 0 && value_fits(v - 1, tgt);
+                    }
+                }
+                "&" => {
+                    if let Some(v) = self.literal_value(op + 1, hi) {
+                        return value_fits(v, tgt);
+                    }
+                    if let Some(v) = self.literal_value(lo, op) {
+                        return value_fits(v, tgt);
+                    }
+                }
+                _ => {}
+            }
+            return self.prove(lo, op, tgt_name, tgt, depth + 1);
+        }
+        // A call whose return type fits: `name(...)`, `a.b.name(...)`.
+        if self.text(hi - 1) == ")" {
+            if let Some(open) = self.open_of_close(lo, hi - 1) {
+                if open > lo && self.kind(open - 1) == Some(TokenKind::Ident) {
+                    let name = self.text(open - 1);
+                    if let Some(call) = self.expr.calls.iter().find(|c| c.name == name) {
+                        if let Some(rt) = self.u.call_ret_ty(call, self.f.owner.as_deref()) {
+                            return self.ty_fits(rt, tgt_name, tgt);
+                        }
+                    }
+                    // `x.min(LIT)` bounds the value by the literal.
+                    if name == "min" {
+                        if let Some(v) = self.literal_value(open + 1, hi - 1) {
+                            return value_fits(v, tgt);
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Proves a bare identifier: parameter type, else every reaching
+    /// definition's declared type or literal initializer.
+    fn prove_ident(&self, name: &str, tgt_name: &str, tgt: (u32, bool)) -> bool {
+        if let Some(p) = self
+            .f
+            .params
+            .iter()
+            .find(|p| p.name.as_deref() == Some(name))
+        {
+            return self.ty_fits(&p.ty, tgt_name, tgt);
+        }
+        let defs = self.rd.reaching(self.cfg, self.block, self.atom, name);
+        !defs.is_empty()
+            && defs.iter().all(|d| {
+                if let Some(ty) = d.ty {
+                    return self.ty_fits(ty, tgt_name, tgt);
+                }
+                if let Some(init) = d.init {
+                    return self
+                        .literal_value(init.span.0, init.span.1)
+                        .is_some_and(|v| value_fits(v, tgt));
+                }
+                false
+            })
+    }
+
+    /// The close index matching an opener at `at`, within `[at, hi)`.
+    fn matching(&self, at: usize, hi: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for i in at..hi {
+            match self.text(i) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// The opener matching the closer at `close`, scanning from `lo`.
+    fn open_of_close(&self, lo: usize, close: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for i in (lo..=close).rev() {
+            match self.text(i) {
+                ")" | "]" | "}" => depth += 1,
+                "(" | "[" | "{" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// First paren-depth-0 binary operator in `[lo, hi)`, skipping a
+    /// leading unary `-`/`&`/`*` and method-chain dots.
+    fn top_level_op(&self, lo: usize, hi: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut prev_operand = false;
+        for i in lo..hi {
+            let t = self.text(i);
+            match t {
+                "(" | "[" | "{" => {
+                    depth += 1;
+                    prev_operand = false;
+                }
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    prev_operand = true;
+                }
+                "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^" | "<<" | ">>"
+                    if depth == 0 && prev_operand =>
+                {
+                    return Some(i);
+                }
+                _ => {
+                    prev_operand = matches!(
+                        self.kind(i),
+                        Some(TokenKind::Ident | TokenKind::Int | TokenKind::Float)
+                    );
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Runs the narrowing pass over one file.
+pub fn run(u: &Universe, file: usize, out: &mut Vec<Finding>) {
+    let unit = &u.files[file];
+    if !unit.scope.address_math {
+        return;
+    }
+    for f in &unit.parsed.functions {
+        if u.in_test(file, f.line) {
+            continue;
+        }
+        let Some(cfg) = cfg::build(f) else { continue };
+        let rd = dataflow::reaching_defs(&cfg);
+        for (b, i, a) in cfg.atoms() {
+            let Some(e) = a.expr else { continue };
+            for cast in &e.casts {
+                if !NARROW.contains(&cast.target.as_str()) {
+                    continue;
+                }
+                let Some(tgt) = tgt_width(&cast.target) else {
+                    continue;
+                };
+                let p = Prover {
+                    u,
+                    unit,
+                    f,
+                    cfg: &cfg,
+                    rd: &rd,
+                    block: b,
+                    atom: i,
+                    expr: e,
+                };
+                if p.prove(cast.op_span.0, cast.op_span.1, &cast.target, tgt, 0) {
+                    continue;
+                }
+                emit(
+                    u,
+                    file,
+                    NARROWING_CAST,
+                    "PLP-C001",
+                    cast.line,
+                    cast.col,
+                    &format!("as {}", cast.target),
+                    out,
+                );
+            }
+        }
+    }
+}

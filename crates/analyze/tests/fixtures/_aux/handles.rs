@@ -1,0 +1,14 @@
+//@ path: crates/core/src/shard.rs
+//! Aux context: declares the stepping API so the escape pass can
+//! derive the shard-handle owner type (`Simulation`).
+
+pub struct Simulation {
+    pub cycle: u64,
+}
+
+impl Simulation {
+    pub(crate) fn step_store(&mut self, addr: u64) -> u64 {
+        self.cycle += addr;
+        self.cycle
+    }
+}

@@ -1,0 +1,34 @@
+//@ path: crates/core/src/engine/fx_ok.rs
+//! Clean engine: a guard return before any work, every prepared node
+//! noted in-iteration, a continue only after the note, and the walk
+//! sealed into engine state before the exit.
+
+pub struct Engine {
+    pub busy_until: u64,
+    pub inflight: Vec<u64>,
+}
+
+impl Engine {
+    pub fn persist(&mut self, ctx: &mut EngineCtx, levels: u64, t: u64) -> u64 {
+        if levels == 0 {
+            return t;
+        }
+        let mut done = t;
+        for lvl in 0..levels {
+            let node = ctx.node_ready(lvl);
+            ctx.note_update(node, t);
+            if lvl == 3 {
+                continue;
+            }
+            done = t + lvl;
+        }
+        self.busy_until = done;
+        done
+    }
+
+    pub fn seal_only(&mut self, ctx: &mut EngineCtx, t: u64) -> u64 {
+        ctx.note_update(0, t);
+        self.inflight.push(t);
+        t
+    }
+}

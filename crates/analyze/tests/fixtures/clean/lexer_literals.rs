@@ -1,0 +1,16 @@
+//@ path: crates/bmt/src/fx_lexer_ok.rs
+//! Clean lexer fixture: violation-shaped text appears only inside
+//! literals and comments, so nothing may fire — multi-hash raw
+//! strings, byte strings, char escapes, nested block comments.
+
+pub fn literals() -> usize {
+    let a = "x.unwrap() is only text here";
+    let b = r##"panic!("not real") and "# partial close"##;
+    let c = b"Instant::now bytes";
+    let d = '\'';
+    let e = "escaped \" quote then unimplemented! text";
+    /* a block comment mentioning step_store( and .unwrap() */
+    // line comment: thread_rng and SystemTime are only words here
+    let _ = d;
+    a.len() + b.len() + c.len() + e.len()
+}

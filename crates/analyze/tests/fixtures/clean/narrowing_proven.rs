@@ -1,0 +1,47 @@
+//@ path: crates/bmt/src/fx_narrow_ok.rs
+//! Clean narrowing: every cast here is provable — from parameter
+//! types, literal values, `%`/`&` bounds, `.min` clamps, struct field
+//! types, callee return types, and reaching definitions.
+
+pub struct Geometry {
+    pub levels: u32,
+}
+
+impl Geometry {
+    pub fn level_slot(&self, level: u32) -> usize {
+        (level - 1) as usize
+    }
+
+    pub fn levels_usize(&self) -> usize {
+        self.levels as usize
+    }
+}
+
+pub fn from_param(v: u32) -> usize {
+    v as usize
+}
+
+pub fn from_literal_def() -> u16 {
+    let x = 4096;
+    x as u16
+}
+
+pub fn bucket(x: u64) -> u32 {
+    (x % 1024) as u32
+}
+
+pub fn masked(x: u64) -> u16 {
+    (x & 0xfff) as u16
+}
+
+pub fn clamped(x: u64) -> u32 {
+    x.min(65535) as u32
+}
+
+fn width() -> u16 {
+    64
+}
+
+pub fn from_call() -> usize {
+    width() as usize
+}

@@ -1,0 +1,33 @@
+//@ path: crates/core/src/shard.rs
+//! Clean coordinator: shared (non-mut) handle access, owned shard
+//! storage, and a stepping closure that stays local to its function.
+
+pub struct Simulation {
+    pub cycle: u64,
+}
+
+impl Simulation {
+    pub(crate) fn step_store(&mut self, addr: u64) -> u64 {
+        self.cycle += addr;
+        self.cycle
+    }
+}
+
+pub struct Pool {
+    pub shards: Vec<Simulation>,
+}
+
+impl Pool {
+    pub fn peek(&self, i: usize) -> &Simulation {
+        &self.shards[i]
+    }
+
+    pub fn advance(&mut self, addrs: &[u64]) -> u64 {
+        let mut last = 0;
+        for a in addrs {
+            let sim = &mut self.shards[0];
+            last = sim.step_store(*a);
+        }
+        last
+    }
+}

@@ -1,0 +1,19 @@
+//@ path: crates/core/src/engine/fx_missing_note.rs
+//! E001 mutant: the prepared node is never noted on the bail-out
+//! path — `node_ready` can reach the exit without `note_update`.
+
+pub struct Mutant {
+    pub busy_until: u64,
+}
+
+impl Mutant {
+    pub fn persist(&mut self, ctx: &mut EngineCtx, t: u64, full: bool) -> u64 {
+        let node = ctx.node_ready(t); //~ ERROR engine-contract PLP-E001
+        if full {
+            return t;
+        }
+        ctx.note_update(node, t);
+        self.busy_until = t;
+        t
+    }
+}

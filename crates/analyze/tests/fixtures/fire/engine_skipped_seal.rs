@@ -1,0 +1,18 @@
+//@ path: crates/core/src/engine/fx_skipped_seal.rs
+//! E002 mutant: an early return between the note and the seal leaves
+//! the exit path with noted-but-unsealed updates.
+
+pub struct Mutant {
+    pub busy_until: u64,
+}
+
+impl Mutant {
+    pub fn persist(&mut self, ctx: &mut EngineCtx, t: u64, full: bool) -> u64 {
+        ctx.note_update(1, t);
+        if full {
+            return t; //~ ERROR engine-contract PLP-E002
+        }
+        self.busy_until = t;
+        t
+    }
+}

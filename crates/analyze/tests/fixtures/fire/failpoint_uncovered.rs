@@ -1,0 +1,19 @@
+//@ path: crates/core/src/system.rs
+//! F001 mutant: the fast path returns before crossing any named
+//! failpoint, so no crash sweep can ever interrupt it.
+
+pub struct System {
+    pub now: u64,
+}
+
+impl System {
+    pub fn persist_block(&mut self, addr: u64, fast: bool) -> u64 { //~ ERROR failpoint-coverage PLP-F001
+        if fast {
+            return self.now + addr;
+        }
+        self.fp_hit(addr);
+        self.now
+    }
+
+    fn fp_hit(&mut self, _addr: u64) {}
+}

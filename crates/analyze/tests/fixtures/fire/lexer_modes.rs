@@ -1,0 +1,15 @@
+//@ path: crates/core/src/fx_lexer.rs
+//! Lexer-mode mutant: a real violation after a gauntlet of tricky
+//! literals still fires — proving the scanner resynchronizes after
+//! raw strings, byte strings, escapes, and nested block comments.
+
+pub fn tricky(x: Option<u64>) -> u64 {
+    let s = "/* not a comment */ \" // also not";
+    let r = r#"raw "quoted" text"#;
+    let b = b"byte \"string\"";
+    let c = '\"';
+    let n = '\n';
+    /* block /* nested */ still closed here */
+    let _ = (s, r, b, c, n);
+    x.unwrap() //~ ERROR no-panic-lib PLP-L001
+}

@@ -1,0 +1,15 @@
+//@ path: crates/core/src/fx_narrow.rs
+//! C001 mutants: narrowing casts the value-range prover cannot
+//! justify from declared types, reaching definitions, or bounds.
+
+pub fn truncate_label(label: u64) -> u32 {
+    label as u32 //~ ERROR narrowing-cast PLP-C001
+}
+
+pub fn fold_signed(x: i64) -> i32 {
+    x as i32 //~ ERROR narrowing-cast PLP-C001
+}
+
+pub fn index_from(len: usize) -> u32 {
+    len as u32 //~ ERROR narrowing-cast PLP-C001
+}

@@ -1,0 +1,29 @@
+//@ path: crates/core/src/shard.rs
+//! S002/S003/S004 mutants: the coordinator hands the per-shard
+//! stepping capability out — as a mutable handle return, a parked
+//! mutable field, and an escaping stepping closure.
+
+pub struct Simulation {
+    pub cycle: u64,
+}
+
+impl Simulation {
+    pub(crate) fn step_store(&mut self, addr: u64) -> u64 {
+        self.cycle += addr;
+        self.cycle
+    }
+}
+
+pub fn borrow_shard(pool: &mut Vec<Simulation>, i: usize) -> &mut Simulation { //~ ERROR no-cross-shard-state PLP-S002
+    &mut pool[i]
+}
+
+pub struct ParkedHandle<'a> { //~ ERROR no-cross-shard-state PLP-S003
+    pub sim: &'a mut Simulation,
+}
+
+pub fn make_stepper(sim: &mut Simulation) -> impl FnMut(u64) + '_ {
+    move |a| { //~ ERROR no-cross-shard-state PLP-S004
+        sim.step_store(a);
+    }
+}

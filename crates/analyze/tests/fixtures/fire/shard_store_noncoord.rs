@@ -1,0 +1,10 @@
+//@ path: crates/core/src/fx_replay.rs
+//@ aux: handles
+//! S003 fires outside the coordinator too: a struct parking a
+//! mutable shard handle re-exports the stepping capability even
+//! though this file never names the stepping API textually.
+
+pub struct Replay<'a> { //~ ERROR no-cross-shard-state PLP-S003
+    pub shard: &'a mut Simulation,
+    pub at: u64,
+}

@@ -1,0 +1,13 @@
+//@ path: crates/core/src/fx_allow.rs
+//! A002/A003 mutants: an allow directive suppressing nothing, and
+//! one naming a rule that does not exist.
+
+// lint: allow(no-panic-lib) nothing panics below anymore //~ ERROR unused-allow PLP-A002
+pub fn calm() -> u64 {
+    7
+}
+
+// lint: allow(no-such-rule) typo in the rule name //~ ERROR unused-allow PLP-A003
+pub fn fine() -> u64 {
+    9
+}

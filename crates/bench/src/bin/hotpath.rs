@@ -31,7 +31,6 @@
 //! [--seed N] [--reps N] [--sweep-instructions N] [--threads N]`
 
 use std::path::PathBuf;
-// lint: allow(nondeterminism) host wall-clock is this benchmark's measurand
 use std::time::Instant;
 
 use plp_bench::matrix::{time_sweep, MatrixOptions, RunRequest, SweepTiming};

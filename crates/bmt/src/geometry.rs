@@ -86,7 +86,6 @@ impl BmtGeometry {
 
     /// [`BmtGeometry::levels`] as a container length.
     pub fn levels_usize(&self) -> usize {
-        // lint: allow(narrowing-cast) u32 to usize is lossless on every supported (>=32-bit) target
         self.levels as usize
     }
 
@@ -149,7 +148,6 @@ impl BmtGeometry {
             "level {level} out of 1..={}",
             self.levels
         );
-        // lint: allow(narrowing-cast) u32 to usize is lossless on every supported (>=32-bit) target
         (level - 1) as usize
     }
 

@@ -90,7 +90,6 @@ impl BmtGeometry {
     /// The 0-based level of `node` as a container index
     /// ([`BmtGeometry::level`]` - 1`).
     pub fn level_index(&self, node: NodeLabel) -> usize {
-        // lint: allow(narrowing-cast) u32 to usize is lossless on every supported (>=32-bit) target
         (self.level(node) - 1) as usize
     }
 

@@ -55,7 +55,6 @@ pub struct EngineStats {
 /// A u32 level count/number as a container index — the engines size
 /// and index their per-level tables with tree levels.
 pub(crate) fn level_slot(v: u32) -> usize {
-    // lint: allow(narrowing-cast) u32 to usize is lossless on every supported (>=32-bit) target
     v as usize
 }
 

@@ -405,7 +405,6 @@ fn pick_bit(state: &mut u64, bound: u64) -> u32 {
 
 /// Byte index holding bit `bit` of a packed little-endian buffer.
 fn byte_slot(bit: u32) -> usize {
-    // lint: allow(narrowing-cast) u32 to usize is lossless on every supported (>=32-bit) target
     (bit / 8) as usize
 }
 

@@ -338,7 +338,6 @@ type LabelMap = crate::fastmap::FastMap<u64, (EpochId, Cycle)>;
 /// 1-based tree level → vector index, `None` when out of range.
 fn level_index(level: u32, levels: u32) -> Option<usize> {
     if level >= 1 && level <= levels {
-        // lint: allow(narrowing-cast) u32 to usize is lossless on every supported (>=32-bit) target
         Some(level as usize - 1)
     } else {
         None

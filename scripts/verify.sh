@@ -10,12 +10,35 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Repo-wide custom lint pass: persist-math cast hygiene, no panics in
-# library code, exhaustive UpdateScheme matches, banned nondeterminism,
-# no bare retry loops outside the shared plp_core::retry policy.
-# Writes the machine-readable report consumed by results/analysis.json
-# consumers; any violation fails the gate with a per-rule summary.
-cargo run -q -p plp-analyze --bin plp-lint -- --json results/analysis.json
+# Lint self-test: the fixture corpus under crates/analyze/tests/
+# fixtures must match exactly — every fire/ mutant produces its
+# seeded //~ ERROR markers (engine-contract, failpoint-coverage,
+# shard-escape, narrowing, stale-allow, lexer modes) and every clean/
+# fixture lints silent. This proves the semantic passes actually fire
+# before we trust a clean repo-wide run below.
+./target/release/plp-lint --self-test crates/analyze/tests/fixtures || {
+  echo "verify: plp-lint fixture self-test failed"; exit 1
+}
+
+# Repo-wide custom lint pass: CFG/dataflow-backed persist-order
+# contract on the engines, failpoint coverage of the persist drivers,
+# shard-handle escape analysis, value-range-proved cast hygiene, the
+# lexical rules, and the stale-allow audit. Writes the schema-2
+# machine report; any violation fails the gate with a per-rule
+# summary. The whole-workspace analysis must finish inside a 10s
+# budget — it runs on every verify, so it has to stay cheap.
+lint_t0=$(date +%s)
+./target/release/plp-lint --json results/analysis.json
+lint_t1=$(date +%s)
+if [ $((lint_t1 - lint_t0)) -gt 10 ]; then
+  echo "verify: plp-lint exceeded its 10s wall-clock budget ($((lint_t1 - lint_t0))s)"; exit 1
+fi
+grep -q '"schema": 2' results/analysis.json || {
+  echo "verify: results/analysis.json is not schema 2"; exit 1
+}
+grep -q '"cfg_blocks":' results/analysis.json || {
+  echo "verify: results/analysis.json lacks analysis-depth counters"; exit 1
+}
 
 # Smoke: every experiment spec end-to-end at reduced instruction count,
 # uncached so it always exercises the simulator, parallel so it also

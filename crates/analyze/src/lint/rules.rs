@@ -36,11 +36,12 @@ pub const NO_BARE_RETRY_LOOP: RuleId = "no-bare-retry-loop";
 pub const NO_NODE_HASHMAP: RuleId = "no-node-hashmap";
 /// Process-lifecycle manipulation is the crash harness's exclusive
 /// domain: `libc::kill` and `Child::kill` (`.kill()`) are banned
-/// everywhere except the harness module and its binary, and
-/// `process::exit` is additionally banned in *library* code — a
-/// library that exits hijacks its host process (binaries keep using
-/// it for exit codes). The SIGKILL protocol must stay auditable in
-/// one place.
+/// everywhere except the harness modules (the crash harness, its
+/// binary, and the process-isolation module, which SIGKILLs its own
+/// rlimit-fenced children), and `process::exit` is additionally
+/// banned in *library* code — a library that exits hijacks its host
+/// process (binaries keep using it for exit codes). The SIGKILL
+/// protocol must stay auditable in a small, named set of files.
 pub const NO_RAW_PROCESS_KILL: RuleId = "no-raw-process-kill";
 /// Per-shard simulation state is the sharded coordinator's exclusive
 /// domain: the stepping API (`step_store`/`step_load`) and the seal
@@ -56,9 +57,11 @@ pub const NO_CROSS_SHARD_STATE: RuleId = "no-cross-shard-state";
 /// unsealed. Checked by CFG dataflow in `passes::engine_contract`.
 pub const ENGINE_CONTRACT: RuleId = "engine-contract";
 /// Every path through the system persist drivers (`persist_block`,
-/// `seal_epoch`) must cross at least one named failpoint from the
-/// crash-harness catalog, so SIGKILL sweeps can never silently lose
-/// coverage of a new code path. Checked in `passes::failpoint_cover`.
+/// `seal_epoch`) and the durable recovery driver (`recover_image`)
+/// must cross at least one named failpoint from the crash-harness
+/// catalog, so SIGKILL sweeps — single- and double-kill — can never
+/// silently lose coverage of a new code path. Checked in
+/// `passes::failpoint_cover`.
 pub const FAILPOINT_COVERAGE: RuleId = "failpoint-coverage";
 /// A `// lint: allow(...)` directive that no longer suppresses any
 /// finding is stale and must be deleted; an allow naming an unknown
@@ -156,6 +159,10 @@ pub struct FileScope {
     /// The system persist drivers — subject to failpoint-coverage
     /// ([`FAILPOINT_COVERAGE`]).
     pub persist_driver: bool,
+    /// The durable recovery writeback driver (`crash::recover_image`)
+    /// — its repair paths are subject to the same failpoint-coverage
+    /// obligation, against the *recovery* failpoint catalog.
+    pub recovery_driver: bool,
 }
 
 impl FileScope {
@@ -165,12 +172,14 @@ impl FileScope {
         let address_math = library
             && (path.starts_with("crates/core/") || path.starts_with("crates/bmt/"));
         let harness = path.starts_with("crates/bench/src/crash")
-            || path.starts_with("crates/bench/src/bin/crash_harness");
+            || path.starts_with("crates/bench/src/bin/crash_harness")
+            || path == "crates/bench/src/isolate.rs";
         let coordinator = path == "crates/core/src/shard.rs"
             || path == "crates/core/src/system.rs";
         let engine = path.starts_with("crates/core/src/engine/");
         let mutant_factory = path == "crates/core/src/engine/mutant.rs";
         let persist_driver = path == "crates/core/src/system.rs";
+        let recovery_driver = path == "crates/core/src/crash.rs";
         FileScope {
             library,
             address_math,
@@ -179,6 +188,7 @@ impl FileScope {
             engine,
             mutant_factory,
             persist_driver,
+            recovery_driver,
         }
     }
 }
@@ -348,6 +358,7 @@ mod tests {
         engine: false,
         mutant_factory: false,
         persist_driver: false,
+        recovery_driver: false,
     };
 
     fn hits(src: &str, scope: FileScope) -> Vec<Finding> {
@@ -401,6 +412,9 @@ mod tests {
         let sys = FileScope::classify("crates/core/src/system.rs");
         assert!(sys.persist_driver && sys.coordinator);
         assert!(!FileScope::classify("crates/core/src/shard.rs").persist_driver);
+        let rec = FileScope::classify("crates/core/src/crash.rs");
+        assert!(rec.recovery_driver && !rec.persist_driver);
+        assert!(!sys.recovery_driver);
     }
 
     #[test]
@@ -554,6 +568,7 @@ mod tests {
         for path in [
             "crates/bench/src/crash.rs",
             "crates/bench/src/bin/crash_harness.rs",
+            "crates/bench/src/isolate.rs",
         ] {
             let scope = FileScope::classify(path);
             assert!(scope.harness, "{path} must classify as harness");

@@ -4,10 +4,12 @@
 //! persist-path branch that crosses none of them is a code path the
 //! sweeps can never interrupt, i.e. silently untested recovery. This
 //! pass proves, per driver (`persist_block`, `seal_epoch` in the
-//! system model), that *every* path from entry to exit crosses at
-//! least one failpoint visit — directly (`fp_hit`, or `note_update`,
-//! which visits the between-levels failpoint) or through a callee
-//! whose every path crosses one (the `crosses` summary).
+//! system model, plus `recover_image`, the durable recovery writeback
+//! the double-kill sweep interrupts), that *every* path from entry to
+//! exit crosses at least one failpoint visit — directly (`fp_hit`, or
+//! `note_update`, which visits the between-levels failpoint) or
+//! through a callee whose every path crosses one (the `crosses`
+//! summary).
 //!
 //! Optimistic loop stance: a persist walk always runs its level loop
 //! at least once, so a failpoint inside the walk loop counts.
@@ -17,17 +19,27 @@ use crate::dataflow;
 use crate::lint::rules::{Finding, FAILPOINT_COVERAGE};
 use crate::passes::{emit, Universe};
 
-/// The driver functions under the coverage obligation.
+/// The run-time driver functions under the coverage obligation.
 const DRIVERS: [&str; 2] = ["persist_block", "seal_epoch"];
+
+/// The recovery-time drivers: every repair path of the durable
+/// recovery writeback must cross a recovery failpoint, or the
+/// double-kill sweep cannot interrupt it.
+const RECOVERY_DRIVERS: [&str; 1] = ["recover_image"];
 
 /// Runs the failpoint-coverage pass over one file.
 pub fn run(u: &Universe, file: usize, out: &mut Vec<Finding>) {
     let unit = &u.files[file];
-    if !unit.scope.persist_driver {
+    if !unit.scope.persist_driver && !unit.scope.recovery_driver {
         return;
     }
+    let obliged: &[&str] = if unit.scope.persist_driver {
+        &DRIVERS
+    } else {
+        &RECOVERY_DRIVERS
+    };
     for f in &unit.parsed.functions {
-        if !DRIVERS.contains(&f.name.as_str()) || u.in_test(file, f.line) {
+        if !obliged.contains(&f.name.as_str()) || u.in_test(file, f.line) {
             continue;
         }
         let Some(cfg) = cfg::build(f) else { continue };

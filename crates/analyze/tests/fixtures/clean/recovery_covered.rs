@@ -1,0 +1,25 @@
+//@ path: crates/core/src/crash.rs
+//! Clean recovery driver: `recover_image` crosses the pre-repair
+//! failpoint as its first act, so every repair path — including the
+//! fixpoint early return — is interruptible by the double-kill sweep.
+
+pub struct Recovery {
+    pub repairs: u64,
+}
+
+impl Recovery {
+    pub fn recover_image(&mut self, torn: bool) -> u64 {
+        self.fp_hit(0);
+        if !torn {
+            return self.repairs;
+        }
+        for frame in 0..4 {
+            self.fp_hit(frame);
+            self.repairs += 1;
+        }
+        self.fp_hit(2);
+        self.repairs
+    }
+
+    fn fp_hit(&mut self, _slot: u64) {}
+}

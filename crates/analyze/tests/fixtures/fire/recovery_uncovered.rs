@@ -1,0 +1,21 @@
+//@ path: crates/core/src/crash.rs
+//! F001 mutant (recovery driver): the fixpoint fast path returns
+//! before crossing any recovery failpoint, so the double-kill sweep
+//! can never interrupt it.
+
+pub struct Recovery {
+    pub repairs: u64,
+}
+
+impl Recovery {
+    pub fn recover_image(&mut self, torn: bool) -> u64 { //~ ERROR failpoint-coverage PLP-F001
+        if !torn {
+            return self.repairs;
+        }
+        self.fp_hit(1);
+        self.repairs += 1;
+        self.repairs
+    }
+
+    fn fp_hit(&mut self, _slot: u64) {}
+}

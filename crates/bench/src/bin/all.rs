@@ -21,24 +21,116 @@
 //! simulator — stdout is byte-identical to omitting the flags, and the
 //! run-cache keys are unchanged.
 //!
+//! Isolated mode (`--isolate`) re-execs this binary as
+//! `all … --run-one <key>` once per simulated run: the child applies
+//! rlimits to itself, runs exactly one request, and returns its report
+//! over stdout as one checksummed frame (see `plp_bench::isolate`).
+//! Stdout stays byte-identical to in-process execution; watchdog trips
+//! become real SIGKILLs and an over-limit child degrades to an
+//! `oom-killed` verdict instead of a hung sweep.
+//!
 //! Exit codes: 0 clean (all faults, if any, recovered), 1 sanitizer
 //! violation, 2 usage, 3 degraded (some runs produced no report).
 //!
 //! Usage: `all [instructions] [seed] [--serial] [--threads N]
 //! [--no-cache] [--chaos SEED] [--chaos-hard N] [--watchdog-ms N]
-//! [--streams N] [--shards M]`
+//! [--streams N] [--shards M] [--isolate]`
 
+use std::io::Write;
 use std::time::Duration;
 
-use plp_bench::{all_specs, matrix, ChaosOptions, MatrixOptions, RunSettings, SupervisorOptions};
+use plp_bench::{
+    all_specs, isolate, matrix, ChaosOptions, IsolateOptions, MatrixOptions, ResourceLimits,
+    RunSettings, SupervisorOptions,
+};
 use plp_core::ShardTopology;
 
 fn usage() -> ! {
     eprintln!(
         "usage: all [instructions] [seed] [--serial] [--threads N] [--no-cache] \
-         [--chaos SEED] [--chaos-hard N] [--watchdog-ms N] [--streams N] [--shards M]"
+         [--chaos SEED] [--chaos-hard N] [--watchdog-ms N] [--streams N] [--shards M] \
+         [--isolate]"
     );
     std::process::exit(2);
+}
+
+/// Child mode (`--run-one <key>`): apply rlimits, fire any injected
+/// chaos, reconstruct the request whose identity is `key` from the
+/// spec registry, run it, and write the report frame to stdout.
+fn run_one_main(args: &[String]) -> ! {
+    let mut key: Option<String> = None;
+    let mut settings = RunSettings::default();
+    let mut positionals = 0;
+    let (mut streams, mut shards) = (1u32, 1u32);
+    let mut limits = ResourceLimits {
+        address_space_bytes: None,
+        cpu_secs: None,
+    };
+    let mut chaos_panic = false;
+    let mut chaos_oom = false;
+    let mut stall_ms: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--run-one" => key = it.next().cloned(),
+            "--streams" => streams = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--shards" => shards = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--limit-as" => limits.address_space_bytes = it.next().and_then(|v| v.parse().ok()),
+            "--limit-cpu" => limits.cpu_secs = it.next().and_then(|v| v.parse().ok()),
+            "--chaos-panic" => chaos_panic = true,
+            "--chaos-oom" => chaos_oom = true,
+            "--chaos-stall-ms" => stall_ms = it.next().and_then(|v| v.parse().ok()),
+            other => {
+                if let Ok(n) = other.parse::<u64>() {
+                    match positionals {
+                        0 => settings.instructions = n,
+                        1 => settings.seed = n,
+                        _ => {}
+                    }
+                    positionals += 1;
+                }
+            }
+        }
+    }
+    let Some(key) = key else {
+        eprintln!("run-one: missing key");
+        std::process::exit(2);
+    };
+    if let Err(e) = isolate::apply_self_limits(&limits) {
+        eprintln!("run-one: {e} (continuing unlimited)");
+    }
+    if let Some(ms) = stall_ms {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+    if chaos_panic {
+        panic!("chaos: injected worker panic");
+    }
+    if chaos_oom {
+        isolate::allocation_bomb();
+    }
+    let topology = ShardTopology::new(streams, shards);
+    let request = all_specs()
+        .iter()
+        .flat_map(|spec| spec.runs_needed(settings))
+        .map(|req| req.with_topology(topology))
+        .find(|req| req.key() == key);
+    let Some(request) = request else {
+        eprintln!("run-one: no spec produces key {key}");
+        std::process::exit(isolate::EXIT_UNKNOWN_KEY);
+    };
+    match matrix::run_single(&request) {
+        Ok(report) => {
+            let frame = isolate::encode_report(&key, &report);
+            if std::io::stdout().write_all(&frame).is_err() {
+                std::process::exit(isolate::EXIT_RUN_FAILED);
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("run-one: {e}");
+            std::process::exit(isolate::EXIT_RUN_FAILED);
+        }
+    }
 }
 
 /// Parses a chaos seed, accepting both decimal and `0x`-prefixed hex
@@ -52,6 +144,11 @@ fn parse_seed(arg: &str) -> Option<u64> {
 }
 
 fn main() {
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
+    if raw_args.iter().any(|a| a == "--run-one") {
+        run_one_main(&raw_args);
+    }
+
     let mut settings = RunSettings::default();
     let mut positionals = 0;
     let mut threads = std::thread::available_parallelism()
@@ -63,12 +160,16 @@ fn main() {
     let mut watchdog_ms: Option<u64> = None;
     let mut streams = 1u32;
     let mut shards = 1u32;
+    let mut isolated = false;
+    let mut test_oom_key: Option<String> = None;
+    let mut test_stall_key: Option<String> = None;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = raw_args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--serial" => threads = 1,
             "--no-cache" => cached = false,
+            "--isolate" => isolated = true,
             "--threads" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => threads = n,
                 _ => usage(),
@@ -93,6 +194,11 @@ fn main() {
                 Some(n) if n > 0 => shards = n,
                 _ => usage(),
             },
+            // Test-only hooks: force one isolated child (matched by key
+            // substring) to OOM under its rlimit or stall past the
+            // watchdog. Hidden from usage; no effect without --isolate.
+            "--test-oom-key" => test_oom_key = args.next(),
+            "--test-stall-key" => test_stall_key = args.next(),
             _ => match (arg.parse::<u64>(), positionals) {
                 (Ok(n), 0) => {
                     settings.instructions = n;
@@ -124,6 +230,28 @@ fn main() {
     }
     if let Some(ms) = watchdog_ms {
         sup.watchdog = Duration::from_millis(ms);
+    }
+    if isolated {
+        let exe = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("[plp-bench] --isolate: cannot locate own binary: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut base_args = vec![settings.instructions.to_string(), settings.seed.to_string()];
+        if streams != 1 || shards != 1 {
+            base_args.extend([
+                "--streams".into(),
+                streams.to_string(),
+                "--shards".into(),
+                shards.to_string(),
+            ]);
+        }
+        let mut iso = IsolateOptions::new(exe, base_args);
+        iso.oom_key = test_oom_key;
+        iso.stall_key = test_stall_key;
+        sup.isolation = Some(iso);
     }
 
     let topology = ShardTopology::new(streams, shards);

@@ -17,18 +17,34 @@
 //!   line — byte-identical whether or not `--image` is given, which
 //!   `scripts/verify.sh` checks with `cmp`.
 //!
+//! A third mode, `--double-kill`, runs the nested-crash matrix: kill
+//! the run, re-exec the image into durable recovery, SIGKILL the
+//! recovery at each recovery failpoint, and require a third process
+//! to finish with verdict Clean and field-exact counters (DetectedLoss
+//! for the strawman). Recovery children are `--child --recover ...`.
+//!
 //! Usage:
 //!   crash_harness [instructions] [seed] [--points p1,p2,..] [--hits h1,h2,..]
+//!   crash_harness [instructions] [seed] --double-kill [--points ..]
 //!   crash_harness --child --scheme S --benchmark B --instructions N \
-//!                 --seed K [--image PATH] [--failpoint F --hit H]
+//!                 --seed K [--image PATH] [--failpoint F --hit H] [--recover]
 
 use std::time::Duration;
 
-use plp_bench::crash::{render, run_harness, ChildSpec, HarnessOptions};
+use plp_bench::crash::{
+    render, render_double_kill, run_double_kill, run_harness, ChildSpec, HarnessOptions,
+};
 use plp_core::Failpoint;
 
 fn child_main(args: &[String]) -> ! {
-    match ChildSpec::from_args(args).and_then(|spec| plp_bench::crash::run_child(&spec)) {
+    let run = ChildSpec::from_args(args).and_then(|spec| {
+        if spec.recover {
+            plp_bench::crash::run_recover_child(&spec)
+        } else {
+            plp_bench::crash::run_child(&spec)
+        }
+    });
+    match run {
         Ok(line) => {
             println!("{line}");
             std::process::exit(0);
@@ -53,10 +69,12 @@ fn main() {
     }
 
     let mut opts = HarnessOptions::default();
+    let mut double_kill = false;
     let mut positional = 0;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--double-kill" => double_kill = true,
             "--points" => {
                 let list = it.next().expect("--points needs a comma-separated list");
                 opts.points = parse_points(list).unwrap_or_else(|e| panic!("{e}"));
@@ -88,6 +106,34 @@ fn main() {
         }
     }
 
+    let exe = std::env::current_exe().expect("current_exe resolves");
+    if double_kill {
+        println!("== Crash harness: nested-crash (double-kill) recovery matrix ==");
+        println!(
+            "workload {}, {} instructions, seed {}; each cell kills a run, \
+             kills its recovery at a recovery failpoint, then requires a \
+             third process to recover completely",
+            opts.benchmark, opts.instructions, opts.seed
+        );
+        println!();
+        match run_double_kill(&opts, &exe) {
+            Ok(report) => {
+                print!("{}", render_double_kill(&report));
+                println!();
+                if report.pass {
+                    println!("crash harness: PASS");
+                    return;
+                }
+                println!("crash harness: FAIL");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("crash harness: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     println!("== Crash harness: real-process SIGKILL x file-backed recovery ==");
     println!(
         "workload {}, {} instructions, seed {}; each cell forks a child, \
@@ -96,7 +142,6 @@ fn main() {
     );
     println!();
 
-    let exe = std::env::current_exe().expect("current_exe resolves");
     match run_harness(&opts, &exe) {
         Ok(report) => {
             print!("{}", render(&report));

@@ -35,7 +35,7 @@
 //! fsync, so the image the parent reopens is exactly what the child
 //! had appended when it parked.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
@@ -57,6 +57,11 @@ use crate::supervisor::{DegradationReport, RunLog, RunVerdict};
 /// armed failpoint firing. Stable: the `verify.sh` no-kill identity
 /// gate `cmp`s whole stdouts across file-backed and in-memory runs.
 pub const COMPLETED_MARKER: &str = "crash-harness: completed";
+
+/// Marker a recovery-mode child prints after its durable recovery
+/// runs to completion (parked recovery children print [`PARK_MARKER`]
+/// instead and never reach this line).
+pub const RECOVERED_MARKER: &str = "crash-harness: recovered";
 
 // ---------------------------------------------------------------------------
 // Child side
@@ -81,6 +86,10 @@ pub struct ChildSpec {
     pub image: Option<PathBuf>,
     /// Armed park-mode failpoint; `None` runs to completion.
     pub plan: Option<FailpointPlan>,
+    /// Recovery mode: instead of running the trace, durably recover
+    /// the existing image (the second/third process of the
+    /// double-kill protocol). Requires `image`.
+    pub recover: bool,
 }
 
 impl ChildSpec {
@@ -108,6 +117,9 @@ impl ChildSpec {
             args.push("--hit".to_string());
             args.push(plan.hit.to_string());
         }
+        if self.recover {
+            args.push("--recover".to_string());
+        }
         args
     }
 
@@ -120,9 +132,14 @@ impl ChildSpec {
         let mut image = None;
         let mut point = None;
         let mut hit = None;
+        let mut recover = false;
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             if flag == "--child" {
+                continue;
+            }
+            if flag == "--recover" {
+                recover = true;
                 continue;
             }
             let value = it
@@ -159,6 +176,9 @@ impl ChildSpec {
             (None, None) => None,
             _ => return Err("--failpoint and --hit must be given together".to_string()),
         };
+        if recover && image.is_none() {
+            return Err("--recover requires --image".to_string());
+        }
         Ok(ChildSpec {
             scheme: scheme.ok_or("missing --scheme")?,
             benchmark: benchmark.ok_or("missing --benchmark")?,
@@ -166,6 +186,7 @@ impl ChildSpec {
             seed: seed.ok_or("missing --seed")?,
             image,
             plan,
+            recover,
         })
     }
 }
@@ -205,6 +226,42 @@ pub fn run_child(child: &ChildSpec) -> Result<String, String> {
         report.epochs,
         finished.architectural_root(),
         report.total_cycles
+    ))
+}
+
+/// Runs one child in recovery mode: rebuilds the golden history for
+/// the spec's `(scheme, benchmark, instructions, seed)` in-process,
+/// then durably recovers the existing image. With an armed park-mode
+/// plan the process parks at the recovery failpoint and awaits
+/// SIGKILL; without one it prints the [`RECOVERED_MARKER`] line.
+pub fn run_recover_child(child: &ChildSpec) -> Result<String, String> {
+    let image = child
+        .image
+        .as_deref()
+        .ok_or("recovery mode requires --image")?;
+    let golden = golden_run(child.scheme, &child.benchmark, child.instructions, child.seed)?;
+    let replayed = replay_image(image, golden.config.key)
+        .map_err(|e| format!("replay of {} failed: {e}", image.display()))?;
+    let expected = cut_expectation(&golden, &replayed.complete_ids);
+    let manager = RecoveryManager::for_config(&golden.config);
+    let mut registry = child.plan.map(FailpointRegistry::park);
+    let wb = plp_core::recover_image(
+        image,
+        golden.config.key,
+        &manager,
+        &golden.records,
+        &expected,
+        registry.as_mut(),
+    )
+    .map_err(|e| format!("durable recovery of {} failed: {e}", image.display()))?;
+    Ok(format!(
+        "{RECOVERED_MARKER} scheme={} verdict={} complete={} quarantined={} root={:#018x} rewritten={}",
+        child.scheme.name(),
+        wb.outcome.verdict().name(),
+        wb.replayed.complete_ids.len(),
+        wb.outcome.quarantined().len(),
+        wb.outcome.adopted_root,
+        wb.rewritten
     ))
 }
 
@@ -264,26 +321,43 @@ impl Judgement {
     }
 }
 
+/// The observer expectation for the completely persisted prefix: the
+/// program-order fold of the golden records cut to `complete_ids`.
+/// The file is append-ordered, so id order is the architectural order
+/// for every scheme (including unordered, whose component *times*
+/// legitimately reorder against program order).
+fn cut_expectation(golden: &Golden, complete_ids: &BTreeSet<u64>) -> ObserverExpectation {
+    let mut plaintexts = HashMap::new();
+    for r in golden
+        .records
+        .iter()
+        .filter(|r| complete_ids.contains(&r.id.0))
+    {
+        plaintexts.insert(r.addr, r.plaintext);
+    }
+    ObserverExpectation { plaintexts }
+}
+
+/// The golden program-order counter fold of the same cut — the
+/// "field-exact counters" half of a judgement.
+fn cut_counters(golden: &Golden, complete_ids: &BTreeSet<u64>) -> HashMap<u64, CounterBlock> {
+    let mut counters = HashMap::new();
+    for r in golden
+        .records
+        .iter()
+        .filter(|r| complete_ids.contains(&r.id.0))
+    {
+        counters.insert(r.addr.page().index(), r.counters_after.clone());
+    }
+    counters
+}
+
 /// Reopens `image`, replays it, and judges it against the golden run.
 fn judge(golden: &Golden, image: &Path) -> Result<Judgement, String> {
     let replayed = replay_image(image, golden.config.key)
         .map_err(|e| format!("replay of {} failed: {e}", image.display()))?;
-    let cut: Vec<&PersistRecord> = golden
-        .records
-        .iter()
-        .filter(|r| replayed.complete_ids.contains(&r.id.0))
-        .collect();
-    // The observer expects the program-order fold of the completely
-    // persisted prefix: the file is append-ordered, so id order is the
-    // architectural order for every scheme (including unordered, whose
-    // component *times* legitimately reorder against program order).
-    let mut plaintexts = HashMap::new();
-    let mut counters: HashMap<u64, CounterBlock> = HashMap::new();
-    for r in &cut {
-        plaintexts.insert(r.addr, r.plaintext);
-        counters.insert(r.addr.page().index(), r.counters_after.clone());
-    }
-    let expected = ObserverExpectation { plaintexts };
+    let expected = cut_expectation(golden, &replayed.complete_ids);
+    let counters = cut_counters(golden, &replayed.complete_ids);
     let outcome = RecoveryManager::for_config(&golden.config).recover(
         &replayed.image,
         &golden.records,
@@ -356,9 +430,20 @@ fn run_cell_child(exe: &Path, spec: &ChildSpec, watchdog: Duration) -> CellOutco
         Ok(child) => child,
         Err(e) => return CellOutcome::Error(format!("spawn failed: {e}")),
     };
+    // Park-marker bookkeeping: while the child lives, a `.pid` file
+    // next to its image names it. A parent killed mid-cell leaves the
+    // file (and possibly a parked child) behind; the next sweep's
+    // startup GC reaps both.
+    let pid_file = spec.image.as_deref().map(pid_marker_path);
+    if let Some(pf) = &pid_file {
+        let _ = std::fs::write(pf, format!("{}\n", child.id()));
+    }
     let Some(stdout) = child.stdout.take() else {
         let _ = child.kill();
         let _ = child.wait();
+        if let Some(pf) = &pid_file {
+            let _ = std::fs::remove_file(pf);
+        }
         return CellOutcome::Error("child stdout was not captured".to_string());
     };
     // A reader thread forwards marker lines; recv_timeout is the
@@ -411,28 +496,151 @@ fn run_cell_child(exe: &Path, spec: &ChildSpec, watchdog: Duration) -> CellOutco
     };
     let _ = child.wait();
     let _ = reader.join();
+    if let Some(pf) = &pid_file {
+        let _ = std::fs::remove_file(pf);
+    }
     outcome
+}
+
+/// How a recovery-mode child (double-kill protocol) ended.
+#[derive(Debug, Clone, PartialEq)]
+enum RecoveryChildEnd {
+    /// The armed recovery failpoint fired; the child was SIGKILLed
+    /// while parked.
+    Parked,
+    /// Durable recovery ran to completion; the [`RECOVERED_MARKER`]
+    /// line it printed.
+    Completed(String),
+    /// Neither marker arrived inside the watchdog window.
+    TimedOut,
+    /// Spawn or child-side failure.
+    Error(String),
+}
+
+/// Spawns one recovery-mode child and waits for its marker, with the
+/// same SIGKILL-while-parked and pid-file discipline as
+/// [`run_cell_child`].
+fn run_recovery_child(exe: &Path, spec: &ChildSpec, watchdog: Duration) -> RecoveryChildEnd {
+    let mut child = match Command::new(exe)
+        .args(spec.to_args())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+    {
+        Ok(child) => child,
+        Err(e) => return RecoveryChildEnd::Error(format!("spawn failed: {e}")),
+    };
+    let pid_file = spec.image.as_deref().map(pid_marker_path);
+    if let Some(pf) = &pid_file {
+        let _ = std::fs::write(pf, format!("{}\n", child.id()));
+    }
+    let Some(stdout) = child.stdout.take() else {
+        let _ = child.kill();
+        let _ = child.wait();
+        if let Some(pf) = &pid_file {
+            let _ = std::fs::remove_file(pf);
+        }
+        return RecoveryChildEnd::Error("child stdout was not captured".to_string());
+    };
+    let (tx, rx) = mpsc::channel::<String>();
+    let reader = std::thread::spawn(move || {
+        for line in std::io::BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let end = loop {
+        match rx.recv_timeout(watchdog) {
+            Ok(line) if line.starts_with(PARK_MARKER) => {
+                let _ = child.kill();
+                break RecoveryChildEnd::Parked;
+            }
+            Ok(line) if line.starts_with(RECOVERED_MARKER) => {
+                break RecoveryChildEnd::Completed(line);
+            }
+            Ok(_) => continue,
+            Err(_) => {
+                let _ = child.kill();
+                break RecoveryChildEnd::TimedOut;
+            }
+        }
+    };
+    let _ = child.wait();
+    let _ = reader.join();
+    if let Some(pf) = &pid_file {
+        let _ = std::fs::remove_file(pf);
+    }
+    end
+}
+
+/// Path of the `.pid` park-marker file for a child using `image`.
+fn pid_marker_path(image: &Path) -> PathBuf {
+    let mut os = image.as_os_str().to_os_string();
+    os.push(".pid");
+    PathBuf::from(os)
 }
 
 // ---------------------------------------------------------------------------
 // Startup GC
 // ---------------------------------------------------------------------------
 
-/// Removes stale crash images and quarantined run-cache entries left
-/// behind by earlier (possibly killed) harness invocations. Returns
-/// `(images_removed, quarantine_entries_removed)`.
+// The harness is the one place allowed to signal arbitrary pids: a
+// parent killed mid-cell leaves a parked child (infinite sleep) whose
+// only record is its `.pid` file, and only SIGKILL can reap it.
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+/// Reaps a parked child recorded in `pid_file`, if it is still alive
+/// and verifiably ours (its cmdline contains the `--child` flag).
+/// Returns whether a SIGKILL was actually sent.
+fn reap_orphan(pid_file: &Path) -> bool {
+    let Ok(text) = std::fs::read_to_string(pid_file) else {
+        return false;
+    };
+    let Ok(pid) = text.trim().parse::<i32>() else {
+        return false;
+    };
+    if pid <= 1 {
+        return false;
+    }
+    let Ok(cmdline) = std::fs::read(format!("/proc/{pid}/cmdline")) else {
+        return false; // already gone
+    };
+    let ours = cmdline
+        .split(|b| *b == 0)
+        .any(|arg| arg == b"--child");
+    // SAFETY: plain syscall wrapper; SIGKILL (9) to a pid we just
+    // verified belongs to a parked harness child.
+    ours && unsafe { kill(pid, 9) } == 0
+}
+
+/// Removes stale crash images, recovery-scratch images, orphaned
+/// `.pid` park-marker files (SIGKILLing any still-parked child they
+/// name) and quarantined run-cache entries left behind by earlier
+/// (possibly killed) harness invocations. Returns
+/// `(files_removed, quarantine_entries_removed)`.
 ///
 /// Both directories only ever hold files this repo's tooling wrote:
-/// `*.img` device images here, and rejected cache entries moved aside
-/// by [`crate::cache`]. Anything else is left alone.
+/// `*.img` device images, their `*.img.rec` recovery scratches and
+/// `*.pid` markers here, and rejected cache entries moved aside by
+/// [`crate::cache`]. Anything else is left alone.
 pub fn gc_stale(image_dir: &Path, cache_dir: &Path) -> (usize, usize) {
     let mut images = 0;
     if let Ok(entries) = std::fs::read_dir(image_dir) {
         for entry in entries.flatten() {
             let path = entry.path();
-            if path.extension().is_some_and(|e| e == "img")
-                && std::fs::remove_file(&path).is_ok()
-            {
+            let stale = match path.extension() {
+                Some(e) if e == "img" || e == "rec" => true,
+                Some(e) if e == "pid" => {
+                    reap_orphan(&path);
+                    true
+                }
+                _ => false,
+            };
+            if stale && std::fs::remove_file(&path).is_ok() {
                 images += 1;
             }
         }
@@ -465,8 +673,9 @@ pub struct HarnessOptions {
     /// Schemes to sweep; default: the four correct engines plus the
     /// `unordered` strawman (which must demonstrably fail).
     pub schemes: Vec<UpdateScheme>,
-    /// Failpoints to arm; default: the whole catalog (epoch-only
-    /// points are skipped for strict-persistency schemes).
+    /// Failpoints to arm; default: the whole run-path catalog
+    /// (epoch-only points are skipped for strict-persistency schemes;
+    /// recovery points belong to the double-kill sweep, not this one).
     pub points: Vec<Failpoint>,
     /// Hit-index override applied to every point; `None` uses the
     /// per-point defaults of [`default_hits`].
@@ -488,7 +697,7 @@ impl Default for HarnessOptions {
             instructions: 20_000,
             seed: 7,
             schemes,
-            points: Failpoint::ALL.to_vec(),
+            points: Failpoint::RUN.to_vec(),
             hits: None,
             image_dir: PathBuf::from("results").join("crash_images"),
             cache_dir: crate::matrix::default_cache_dir(),
@@ -509,13 +718,22 @@ pub fn default_hits(point: Failpoint) -> Vec<u64> {
         Failpoint::PreRootSeal | Failpoint::PostRootSeal => vec![2, 33],
         Failpoint::MidEpochFlush => vec![1, 10],
         Failpoint::PostEpochSeal => vec![0, 2],
+        // Recovery points fire once per recovery run, except the
+        // writeback point which fires per scratch frame. The deeper
+        // writeback hit must stay under the smallest scratch a swept
+        // kill produces (the unordered strawman's ~13-frame image).
+        Failpoint::RecoveryPreRepair
+        | Failpoint::RecoveryPreRootCommit
+        | Failpoint::RecoveryPostRootCommit => vec![0],
+        Failpoint::RecoveryMidWriteback => vec![1, 7],
     }
 }
 
-/// Whether `point` can fire at all under `scheme`.
+/// Whether `point` can fire at all under `scheme` during a live run.
 fn applicable(scheme: UpdateScheme, point: Failpoint) -> bool {
     match point {
         Failpoint::MidEpochFlush | Failpoint::PostEpochSeal => scheme.is_epoch_based(),
+        p if p.is_recovery() => false,
         _ => true,
     }
 }
@@ -563,6 +781,7 @@ pub fn run_harness(opts: &HarnessOptions, exe: &Path) -> Result<HarnessReport, S
                     seed: opts.seed,
                     image: Some(image.clone()),
                     plan: Some(FailpointPlan { point, hit }),
+                    recover: false,
                 };
                 let mut outcome = run_cell_child(exe, &spec, opts.watchdog);
                 // Judge the surviving image for both kill and
@@ -647,7 +866,7 @@ pub fn gate(schemes: &[UpdateScheme], cells: &[CellReport]) -> bool {
             return false;
         }
         if correct.contains(&scheme) {
-            for &point in Failpoint::ALL.iter().filter(|&&p| applicable(scheme, p)) {
+            for &point in Failpoint::RUN.iter().filter(|&&p| applicable(scheme, p)) {
                 let at_point: Vec<&&CellReport> =
                     mine.iter().filter(|c| c.point == point).collect();
                 if at_point.is_empty() {
@@ -686,6 +905,393 @@ pub fn gate(schemes: &[UpdateScheme], cells: &[CellReport]) -> bool {
         }
     }
     true
+}
+
+// ---------------------------------------------------------------------------
+// Double-kill sweep: SIGKILL the run, then SIGKILL the recovery
+// ---------------------------------------------------------------------------
+
+/// One judged double-kill cell: a run killed at `(run_point,
+/// run_hit)`, a recovery of that image killed at `(recovery_point,
+/// recovery_hit)`, and a third process that recovered to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoubleKillCell {
+    /// Scheme under test.
+    pub scheme: UpdateScheme,
+    /// The run-path failpoint the first kill was armed at.
+    pub run_point: Failpoint,
+    /// Its zero-based hit index.
+    pub run_hit: u64,
+    /// The recovery failpoint the second kill was armed at.
+    pub recovery_point: Failpoint,
+    /// Its zero-based hit index.
+    pub recovery_hit: u64,
+    /// How the cell ended.
+    pub outcome: DoubleKillOutcome,
+}
+
+/// The outcome of one double-kill cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DoubleKillOutcome {
+    /// All three processes ran; the final image was judged.
+    Done {
+        /// Persist index the first kill landed in.
+        first_persist: u64,
+        /// Whether the armed recovery failpoint actually fired (the
+        /// second SIGKILL landed while recovery was parked there).
+        second_fired: bool,
+        /// Recovery was never *less* recovered than before the second
+        /// kill: the set of fully durable persist ids survived both
+        /// the killed recovery and the completing one, and the final
+        /// image is canonical-recovered.
+        monotone: bool,
+        /// The third process's recovery verdict, re-derived by the
+        /// parent from the final image.
+        final_verdict: FaultVerdict,
+        /// Field-exact match of the final counters against the golden
+        /// program-order fold of the durable cut.
+        counters_match: bool,
+        /// Complete persists in the final image.
+        complete: usize,
+        /// Addresses the final image quarantines.
+        quarantined: usize,
+    },
+    /// A child process timed out.
+    TimedOut,
+    /// Spawn, replay or judge failure.
+    Error(String),
+}
+
+/// The judged double-kill matrix plus the aggregate verdict.
+#[derive(Debug)]
+pub struct DoubleKillReport {
+    /// Every judged cell, in sweep order.
+    pub cells: Vec<DoubleKillCell>,
+    /// Stale files / quarantine entries removed at startup.
+    pub gc: (usize, usize),
+    /// Whether [`double_kill_gate`] passed.
+    pub pass: bool,
+}
+
+/// The run-path plan the first kill of a double-kill cell arms: the
+/// first applicable point of the sweep, at its deepest default hit
+/// (or the caller's override). Deep hits maximize address reuse, so
+/// the `unordered` strawman's torn tuple demonstrably quarantines.
+fn double_kill_run_plan(scheme: UpdateScheme, opts: &HarnessOptions) -> Option<FailpointPlan> {
+    let point = opts
+        .points
+        .iter()
+        .copied()
+        .find(|&p| applicable(scheme, p))?;
+    let hit = match &opts.hits {
+        Some(hits) => *hits.last()?,
+        None => *default_hits(point).last()?,
+    };
+    Some(FailpointPlan { point, hit })
+}
+
+/// Runs the nested-crash sweep: for each scheme, kill a child at a
+/// run failpoint, then for each recovery failpoint re-exec the image
+/// into durable recovery, SIGKILL it parked there, and require a
+/// third process to finish the recovery. The parent independently
+/// replays the final image and judges it against the golden cut.
+pub fn run_double_kill(opts: &HarnessOptions, exe: &Path) -> Result<DoubleKillReport, String> {
+    let gc = gc_stale(&opts.image_dir, &opts.cache_dir);
+    std::fs::create_dir_all(&opts.image_dir)
+        .map_err(|e| format!("cannot create {}: {e}", opts.image_dir.display()))?;
+
+    let mut cells = Vec::new();
+    for &scheme in &opts.schemes {
+        let golden = golden_run(scheme, &opts.benchmark, opts.instructions, opts.seed)?;
+        let Some(run_plan) = double_kill_run_plan(scheme, opts) else {
+            continue;
+        };
+        let base = opts.image_dir.join(format!(
+            "dk-{}-{}-h{}.img",
+            scheme.name(),
+            run_plan.point.name(),
+            run_plan.hit
+        ));
+        let spec1 = ChildSpec {
+            scheme,
+            benchmark: opts.benchmark.clone(),
+            instructions: opts.instructions,
+            seed: opts.seed,
+            image: Some(base.clone()),
+            plan: Some(run_plan),
+            recover: false,
+        };
+        let first = run_cell_child(exe, &spec1, opts.watchdog);
+        let first_persist = match &first {
+            CellOutcome::Killed { persist, .. } => *persist,
+            other => {
+                for &rp in Failpoint::RECOVERY.iter() {
+                    cells.push(DoubleKillCell {
+                        scheme,
+                        run_point: run_plan.point,
+                        run_hit: run_plan.hit,
+                        recovery_point: rp,
+                        recovery_hit: 0,
+                        outcome: DoubleKillOutcome::Error(format!(
+                            "first kill did not park: {other:?}"
+                        )),
+                    });
+                }
+                continue;
+            }
+        };
+        let killed_bytes = std::fs::read(&base)
+            .map_err(|e| format!("cannot read killed image {}: {e}", base.display()))?;
+        let base_ids = replay_image(&base, golden.config.key)
+            .map_err(|e| format!("replay of killed image failed: {e}"))?
+            .complete_ids;
+
+        let mut scheme_ok = true;
+        for &rp in Failpoint::RECOVERY.iter() {
+            for &rh in &default_hits(rp) {
+                let cell_img = opts.image_dir.join(format!(
+                    "dk-{}-{}-h{}-{}-h{}.img",
+                    scheme.name(),
+                    run_plan.point.name(),
+                    run_plan.hit,
+                    rp.name(),
+                    rh
+                ));
+                let outcome = double_kill_cell(
+                    exe,
+                    opts,
+                    &golden,
+                    scheme,
+                    first_persist,
+                    &killed_bytes,
+                    &base_ids,
+                    &cell_img,
+                    rp,
+                    rh,
+                );
+                let healthy = matches!(
+                    &outcome,
+                    DoubleKillOutcome::Done {
+                        second_fired: true,
+                        monotone: true,
+                        ..
+                    }
+                );
+                if healthy {
+                    let _ = std::fs::remove_file(&cell_img);
+                } else {
+                    scheme_ok = false;
+                }
+                cells.push(DoubleKillCell {
+                    scheme,
+                    run_point: run_plan.point,
+                    run_hit: run_plan.hit,
+                    recovery_point: rp,
+                    recovery_hit: rh,
+                    outcome,
+                });
+            }
+        }
+        if scheme_ok {
+            let _ = std::fs::remove_file(&base);
+        }
+    }
+    let pass = double_kill_gate(&opts.schemes, &cells);
+    Ok(DoubleKillReport { cells, gc, pass })
+}
+
+/// One recovery cell of the double-kill protocol: seed the image with
+/// the first kill's bytes, kill a recovery parked at `(rp, rh)`, let
+/// a third process finish, and judge the final image.
+#[allow(clippy::too_many_arguments)]
+fn double_kill_cell(
+    exe: &Path,
+    opts: &HarnessOptions,
+    golden: &Golden,
+    scheme: UpdateScheme,
+    first_persist: u64,
+    killed_bytes: &[u8],
+    base_ids: &BTreeSet<u64>,
+    cell_img: &Path,
+    rp: Failpoint,
+    rh: u64,
+) -> DoubleKillOutcome {
+    if let Err(e) = std::fs::write(cell_img, killed_bytes) {
+        return DoubleKillOutcome::Error(format!("cannot seed cell image: {e}"));
+    }
+    let spec2 = ChildSpec {
+        scheme,
+        benchmark: opts.benchmark.clone(),
+        instructions: opts.instructions,
+        seed: opts.seed,
+        image: Some(cell_img.to_path_buf()),
+        plan: Some(FailpointPlan { point: rp, hit: rh }),
+        recover: true,
+    };
+    let second_fired = match run_recovery_child(exe, &spec2, opts.watchdog) {
+        RecoveryChildEnd::Parked => true,
+        RecoveryChildEnd::Completed(_) => false,
+        RecoveryChildEnd::TimedOut => return DoubleKillOutcome::TimedOut,
+        RecoveryChildEnd::Error(e) => {
+            return DoubleKillOutcome::Error(format!("killed recovery: {e}"))
+        }
+    };
+    // Monotonicity, checkpoint 1: whatever instant the second kill
+    // landed at, the durable cut never shrank.
+    let mid_ids = match replay_image(cell_img, golden.config.key) {
+        Ok(r) => r.complete_ids,
+        Err(e) => return DoubleKillOutcome::Error(format!("replay after second kill: {e}")),
+    };
+    let mut monotone = mid_ids == *base_ids;
+
+    // Third process: a fresh recovery with no failpoint must complete.
+    let spec3 = ChildSpec {
+        plan: None,
+        ..spec2
+    };
+    match run_recovery_child(exe, &spec3, opts.watchdog) {
+        RecoveryChildEnd::Completed(_) => {}
+        RecoveryChildEnd::Parked => {
+            return DoubleKillOutcome::Error("unarmed recovery parked".to_string())
+        }
+        RecoveryChildEnd::TimedOut => return DoubleKillOutcome::TimedOut,
+        RecoveryChildEnd::Error(e) => {
+            return DoubleKillOutcome::Error(format!("final recovery: {e}"))
+        }
+    }
+
+    // Parent-side judgement of the final image.
+    let final_replay = match replay_image(cell_img, golden.config.key) {
+        Ok(r) => r,
+        Err(e) => return DoubleKillOutcome::Error(format!("replay of final image: {e}")),
+    };
+    monotone = monotone && final_replay.complete_ids == *base_ids && final_replay.recovered;
+    let expected = cut_expectation(golden, &final_replay.complete_ids);
+    let counters = cut_counters(golden, &final_replay.complete_ids);
+    let outcome = RecoveryManager::for_config(&golden.config).recover(
+        &final_replay.image,
+        &golden.records,
+        &expected,
+    );
+    DoubleKillOutcome::Done {
+        first_persist,
+        second_fired,
+        monotone,
+        final_verdict: outcome.verdict(),
+        counters_match: final_replay.image.counters == counters,
+        complete: final_replay.complete_ids.len(),
+        quarantined: final_replay.quarantined.len(),
+    }
+}
+
+/// The double-kill PASS gate:
+///
+/// * every *correct* scheme: each recovery failpoint produced a real
+///   second kill, recovery stayed monotone, and the final image
+///   judges Clean with field-exact counters;
+/// * the `unordered` strawman (when swept): recovery stays monotone
+///   and detects its loss — every cell's final verdict is
+///   DetectedLoss, never UndetectedCorruption;
+/// * no cell timed out or errored.
+pub fn double_kill_gate(schemes: &[UpdateScheme], cells: &[DoubleKillCell]) -> bool {
+    let correct = UpdateScheme::correct();
+    for &scheme in schemes {
+        let mine: Vec<&DoubleKillCell> = cells.iter().filter(|c| c.scheme == scheme).collect();
+        if mine.is_empty() {
+            return false;
+        }
+        for &point in Failpoint::RECOVERY.iter() {
+            if !mine.iter().any(|c| c.recovery_point == point) {
+                return false;
+            }
+        }
+        for cell in &mine {
+            let DoubleKillOutcome::Done {
+                second_fired,
+                monotone,
+                final_verdict,
+                counters_match,
+                ..
+            } = &cell.outcome
+            else {
+                return false;
+            };
+            if !second_fired || !monotone {
+                return false;
+            }
+            if correct.contains(&scheme) {
+                if *final_verdict != FaultVerdict::Clean || !counters_match {
+                    return false;
+                }
+            } else if *final_verdict != FaultVerdict::DetectedLoss {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Renders the double-kill verdict matrix.
+pub fn render_double_kill(report: &DoubleKillReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "gc: removed {} stale file(s), {} quarantined cache entr(ies)\n\n",
+        report.gc.0, report.gc.1
+    ));
+    out.push_str(&format!(
+        "{:<12} {:<12} {:<22} {:>5} {:<15} {:>6} {:>9} {:>5} {:>5}\n",
+        "scheme", "run-kill", "recovery-kill", "hit", "verdict", "fired", "monotone", "compl", "quar"
+    ));
+    for cell in &report.cells {
+        let (verdict, fired, monotone, complete, quarantined) = match &cell.outcome {
+            DoubleKillOutcome::Done {
+                second_fired,
+                monotone,
+                final_verdict,
+                counters_match,
+                complete,
+                quarantined,
+                ..
+            } => (
+                format!(
+                    "{}{}",
+                    final_verdict.name(),
+                    if *counters_match { "" } else { "!ctr" }
+                ),
+                second_fired.to_string(),
+                monotone.to_string(),
+                complete.to_string(),
+                quarantined.to_string(),
+            ),
+            DoubleKillOutcome::TimedOut => (
+                "timed-out".to_string(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ),
+            DoubleKillOutcome::Error(e) => (
+                format!("error: {e}"),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ),
+        };
+        out.push_str(&format!(
+            "{:<12} {:<12} {:<22} {:>5} {:<15} {:>6} {:>9} {:>5} {:>5}\n",
+            cell.scheme.name(),
+            format!("{}/h{}", cell.run_point.name(), cell.run_hit),
+            cell.recovery_point.name(),
+            cell.recovery_hit,
+            verdict,
+            fired,
+            monotone,
+            complete,
+            quarantined
+        ));
+    }
+    out
 }
 
 /// Renders the verdict matrix in the `fault_sweep` house style.
@@ -748,6 +1354,7 @@ mod tests {
             seed: 7,
             image,
             plan,
+            recover: false,
         }
     }
 
@@ -817,7 +1424,7 @@ mod tests {
     }
 
     #[test]
-    fn gc_removes_images_and_quarantine_entries() {
+    fn gc_removes_images_scratches_markers_and_quarantine_entries() {
         let base = std::env::temp_dir().join(format!("plp-crash-gc-{}", std::process::id()));
         let images = base.join("images");
         let cache_dir = base.join("cache");
@@ -826,15 +1433,39 @@ mod tests {
         std::fs::create_dir_all(&qdir).unwrap();
         std::fs::write(images.join("stale-a.img"), b"x").unwrap();
         std::fs::write(images.join("stale-b.img"), b"y").unwrap();
+        // A recovery scratch (kill landed mid-writeback) and an
+        // orphaned park marker (parent died before its child): both
+        // are startup debris and must be swept. The marker names a
+        // long-dead pid, so the sweep removes the file without
+        // signalling anyone.
+        std::fs::write(images.join("stale-b.img.rec"), b"r").unwrap();
+        std::fs::write(images.join("stale-b.img.pid"), b"999999999").unwrap();
         std::fs::write(images.join("keep.txt"), b"z").unwrap();
         std::fs::write(qdir.join("entry.json"), b"{}").unwrap();
-        assert_eq!(gc_stale(&images, &cache_dir), (2, 1));
+        assert_eq!(gc_stale(&images, &cache_dir), (4, 1));
         assert!(images.join("keep.txt").exists());
         assert!(!images.join("stale-a.img").exists());
+        assert!(!images.join("stale-b.img.rec").exists());
+        assert!(!images.join("stale-b.img.pid").exists());
         assert!(!qdir.join("entry.json").exists());
         // A second pass finds nothing; missing dirs are fine too.
         assert_eq!(gc_stale(&images, &cache_dir), (0, 0));
         assert_eq!(gc_stale(&base.join("nope"), &base.join("nada")), (0, 0));
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    /// `reap_orphan` must never signal a process that is not a parked
+    /// harness child, whatever a stale marker claims.
+    #[test]
+    fn reap_orphan_refuses_foreign_and_garbage_pids() {
+        let base = std::env::temp_dir().join(format!("plp-crash-reap-{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let marker = base.join("x.img.pid");
+        // Garbage contents, init, and our own (live, non-child) pid.
+        for contents in ["not-a-pid", "-4", "1", &std::process::id().to_string()] {
+            std::fs::write(&marker, contents).unwrap();
+            assert!(!reap_orphan(&marker), "reaped with marker {contents:?}");
+        }
         std::fs::remove_dir_all(&base).unwrap();
     }
 

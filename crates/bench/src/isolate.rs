@@ -1,0 +1,630 @@
+//! Process-isolated run supervision: each matrix attempt executes in
+//! a re-exec'ed child under real OS resource limits, so a wedged or
+//! memory-hungry run can be SIGKILLed instead of abandoned.
+//!
+//! The in-process supervisor (`crate::supervisor`) has one documented
+//! sharp edge: Rust cannot cancel a thread, so a timed-out attempt is
+//! *abandoned* and keeps burning CPU in the background. This module is
+//! the fix. With isolation on, every attempt re-execs the harness
+//! binary as `<exe> --run-one <key> …`; the child applies rlimits to
+//! itself ([`apply_self_limits`]), runs exactly one simulation, and
+//! returns its [`RunReport`] over stdout as a single length-prefixed,
+//! FNV-checksummed frame (the `plp_nvm::image` frame codec carrying
+//! the run-cache text codec — both already versioned and corruption-
+//! checked). Watchdog trips become real SIGKILLs; panics become
+//! nonzero exits; a child that outgrows its address-space limit dies
+//! to the allocator's abort and is reported as
+//! [`RunVerdict::OomKilled`] instead of hanging the sweep.
+//!
+//! Output discipline matches the in-process path: isolation never
+//! touches stdout, reports decode bit-exactly (the cache codec is
+//! lossless), and the cache stays a parent-side concern — children
+//! never open it, so a corrupt entry is quarantined exactly once.
+
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use plp_core::retry::RetryToken;
+use plp_core::RunReport;
+use plp_nvm::image::{decode_frame, encode_frame};
+
+use crate::cache;
+use crate::chaos::{ChaosClass, ChaosFault};
+use crate::supervisor::{RunError, RunLog, RunVerdict, SupervisedRun, SupervisorOptions};
+
+/// Frame tag for a `RunReport` crossing the child→parent pipe. Outside
+/// the device-image tag space (1–12) by a wide margin, so a frame file
+/// and a pipe frame can never be confused for one another.
+pub const TAG_RUN_REPORT: u8 = 32;
+
+/// Exit code a child uses for a request key it cannot reconstruct.
+pub const EXIT_UNKNOWN_KEY: i32 = 4;
+/// Exit code a child uses when the simulation itself fails (unknown
+/// benchmark or invalid configuration — spec bugs, not crashes).
+pub const EXIT_RUN_FAILED: i32 = 5;
+
+/// Per-child OS resource limits, applied by the child to itself at
+/// startup (before any allocation of consequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// `RLIMIT_AS` in bytes; an allocation past it fails and the
+    /// allocator aborts the child (SIGABRT → [`RunVerdict::OomKilled`]).
+    pub address_space_bytes: Option<u64>,
+    /// `RLIMIT_CPU` in seconds — a kernel-side backstop behind the
+    /// parent's wall-clock watchdog.
+    pub cpu_secs: Option<u64>,
+}
+
+impl Default for ResourceLimits {
+    /// 32 GiB of address space — RLIMIT_AS charges virtual
+    /// reservations, and the heaviest paper configs model an 8 GiB NVM
+    /// whose sparse structures reserve past 8 GiB while touching far
+    /// less — and a 10-minute CPU backstop. A runaway allocation still
+    /// trips the limit orders of magnitude before exhausting the host.
+    fn default() -> Self {
+        ResourceLimits {
+            address_space_bytes: Some(32 << 30),
+            cpu_secs: Some(600),
+        }
+    }
+}
+
+/// `struct rlimit` as the kernel sees it on 64-bit Linux.
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+const RLIMIT_CPU: i32 = 0;
+const RLIMIT_AS: i32 = 9;
+
+extern "C" {
+    fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+}
+
+/// Applies `limits` to the calling process. Children call this first
+/// thing in `--run-one` mode; failures are reported, not fatal — a
+/// limit that cannot be applied degrades to unlimited, never to a
+/// silently skipped run.
+pub fn apply_self_limits(limits: &ResourceLimits) -> Result<(), String> {
+    let apply = |resource: i32, value: u64, what: &str| -> Result<(), String> {
+        let rlim = RLimit {
+            cur: value,
+            max: value,
+        };
+        // SAFETY: setrlimit reads a valid, initialized struct and
+        // affects only the calling process.
+        if unsafe { setrlimit(resource, &rlim) } != 0 {
+            return Err(format!("setrlimit({what}, {value}) failed"));
+        }
+        Ok(())
+    };
+    if let Some(bytes) = limits.address_space_bytes {
+        apply(RLIMIT_AS, bytes, "RLIMIT_AS")?;
+    }
+    if let Some(secs) = limits.cpu_secs {
+        apply(RLIMIT_CPU, secs, "RLIMIT_CPU")?;
+    }
+    Ok(())
+}
+
+/// Test-only allocation bomb (`--chaos-oom`): requests an allocation
+/// far past any sane address-space limit. Under `RLIMIT_AS` the
+/// allocator aborts the process, which the parent classifies as
+/// [`RunVerdict::OomKilled`]; without a limit the reservation may
+/// succeed untouched (overcommit), in which case the child exits
+/// without a report frame instead of dirtying terabytes.
+pub fn allocation_bomb() -> ! {
+    // black_box keeps the allocation observable: without it the
+    // optimizer elides the untouched vec and the child exits 0.
+    let v = std::hint::black_box(vec![0u8; 1 << 44]);
+    std::process::exit(i32::from(v[0]));
+}
+
+/// Encodes a completed report as the one frame a child writes to
+/// stdout: the versioned, checksummed run-cache text inside a
+/// checksummed image frame.
+pub fn encode_report(key: &str, report: &RunReport) -> Vec<u8> {
+    encode_frame(TAG_RUN_REPORT, cache::encode(key, report).as_bytes())
+}
+
+/// Decodes a child's stdout back into its report, verifying both
+/// integrity envelopes (frame checksum, then cache-codec checksum and
+/// stored key).
+///
+/// # Errors
+///
+/// Returns a description of the first integrity check the bytes
+/// failed — the parent records it as an IPC corruption.
+pub fn decode_report(key: &str, bytes: &[u8]) -> Result<RunReport, String> {
+    let (tag, payload, used) =
+        decode_frame(bytes).ok_or_else(|| "frame truncated or checksum mismatch".to_string())?;
+    if tag != TAG_RUN_REPORT {
+        return Err(format!("unexpected frame tag {tag}"));
+    }
+    if used != bytes.len() {
+        return Err(format!("{} trailing bytes after report frame", bytes.len() - used));
+    }
+    let text =
+        std::str::from_utf8(payload).map_err(|_| "report payload is not UTF-8".to_string())?;
+    cache::decode_checked(key, text).map_err(|fault| format!("report payload rejected: {fault}"))
+}
+
+/// How isolated children are launched.
+#[derive(Debug, Clone)]
+pub struct IsolateOptions {
+    /// The harness binary to re-exec (normally `current_exe`).
+    pub exe: PathBuf,
+    /// Arguments every child needs to reconstruct its request —
+    /// passed *before* `--run-one` so tests can substitute a shell
+    /// script that ignores the trailing protocol arguments.
+    pub base_args: Vec<String>,
+    /// Rlimits each child self-applies.
+    pub limits: ResourceLimits,
+    /// Test-only: keys containing this substring run the allocation
+    /// bomb instead of simulating (pins the OomKilled path).
+    pub oom_key: Option<String>,
+    /// Test-only: keys containing this substring stall past the
+    /// watchdog on every attempt (pins the SIGKILL path).
+    pub stall_key: Option<String>,
+}
+
+impl IsolateOptions {
+    /// Isolation via `exe` with default limits and no test faults.
+    pub fn new(exe: PathBuf, base_args: Vec<String>) -> Self {
+        IsolateOptions {
+            exe,
+            base_args,
+            limits: ResourceLimits::default(),
+            oom_key: None,
+            stall_key: None,
+        }
+    }
+}
+
+/// How one isolated attempt ended.
+enum ChildEnd {
+    /// Clean exit with a verified report frame.
+    Report(Box<RunReport>),
+    /// Clean exit but the frame failed verification.
+    IpcCorrupt(String),
+    /// The child panicked (exit 101), message extracted from stderr.
+    Panicked(String),
+    /// SIGABRT under an address-space limit: the allocator aborted.
+    OomKilled,
+    /// The watchdog expired; the child was SIGKILLed for real.
+    TimedOut,
+    /// Anything else: spawn failure, unexpected signal or exit code.
+    Failed(String),
+}
+
+/// The panic message a child printed, extracted from the default
+/// hook's stderr shape (`thread '…' panicked at …:\n<message>\n`).
+/// Deterministic for deterministic panics, so degradation reports
+/// stay equal across thread counts and repeated sweeps.
+fn panic_message_from_stderr(stderr: &[u8]) -> String {
+    let text = String::from_utf8_lossy(stderr);
+    let mut lines = text.lines();
+    while let Some(line) = lines.next() {
+        if line.contains("panicked at") {
+            let message: Vec<&str> = lines
+                .by_ref()
+                .take_while(|l| !l.starts_with("note:") && !l.starts_with("stack backtrace"))
+                .collect();
+            if !message.is_empty() {
+                return message.join(" ");
+            }
+        }
+    }
+    "child panicked (exit 101)".to_string()
+}
+
+/// Runs one isolated attempt: spawn, pump stdout on a named reader
+/// thread, SIGKILL on watchdog expiry, classify the exit.
+fn run_attempt(
+    iso: &IsolateOptions,
+    key: &str,
+    extra: &[String],
+    watchdog: Duration,
+) -> ChildEnd {
+    let mut cmd = Command::new(&iso.exe);
+    cmd.args(&iso.base_args)
+        .arg("--run-one")
+        .arg(key)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    if let Some(bytes) = iso.limits.address_space_bytes {
+        cmd.arg("--limit-as").arg(bytes.to_string());
+    }
+    if let Some(secs) = iso.limits.cpu_secs {
+        cmd.arg("--limit-cpu").arg(secs.to_string());
+    }
+    cmd.args(extra);
+    let mut child = match cmd.spawn() {
+        Ok(child) => child,
+        Err(e) => return ChildEnd::Failed(format!("spawn failed: {e}")),
+    };
+    let (Some(mut stdout), Some(mut stderr)) = (child.stdout.take(), child.stderr.take()) else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return ChildEnd::Failed("child pipes were not captured".to_string());
+    };
+    // Reader threads drain both pipes; stdout EOF doubles as the
+    // completion signal for the watchdog's recv_timeout. Both threads
+    // are joined below — no attempt thread ever outlives the run.
+    let (tx, rx) = mpsc::channel::<Vec<u8>>();
+    let out_reader = std::thread::Builder::new()
+        .name("plp-isolate-io".to_string())
+        .spawn(move || {
+            let mut buf = Vec::new();
+            let _ = stdout.read_to_end(&mut buf);
+            let _ = tx.send(buf);
+        });
+    let err_reader = std::thread::Builder::new()
+        .name("plp-isolate-io".to_string())
+        .spawn(move || {
+            let mut buf = Vec::new();
+            let _ = stderr.read_to_end(&mut buf);
+            buf
+        });
+    let (Ok(out_reader), Ok(err_reader)) = (out_reader, err_reader) else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return ChildEnd::Failed("could not spawn pipe reader".to_string());
+    };
+    let (stdout_bytes, timed_out) = match rx.recv_timeout(watchdog) {
+        Ok(bytes) => (bytes, false),
+        Err(_) => {
+            // The whole point of isolation: a real, unblockable
+            // SIGKILL, not an abandoned thread.
+            let _ = child.kill();
+            (Vec::new(), true)
+        }
+    };
+    let status = child.wait();
+    let _ = out_reader.join();
+    let stderr_bytes = err_reader.join().unwrap_or_default();
+    if timed_out {
+        return ChildEnd::TimedOut;
+    }
+    let status = match status {
+        Ok(status) => status,
+        Err(e) => return ChildEnd::Failed(format!("wait failed: {e}")),
+    };
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(signal) = status.signal() {
+            // SIGABRT(6) is the allocator's response to a failed
+            // allocation under RLIMIT_AS. Any other fatal signal is
+            // outside the protocol.
+            return if signal == 6 {
+                ChildEnd::OomKilled
+            } else {
+                ChildEnd::Failed(format!("child killed by signal {signal}"))
+            };
+        }
+    }
+    match status.code() {
+        Some(0) => match decode_report(key, &stdout_bytes) {
+            Ok(report) => ChildEnd::Report(Box::new(report)),
+            Err(e) => ChildEnd::IpcCorrupt(e),
+        },
+        Some(101) => ChildEnd::Panicked(panic_message_from_stderr(&stderr_bytes)),
+        Some(code) => {
+            let tail = String::from_utf8_lossy(&stderr_bytes);
+            ChildEnd::Failed(format!(
+                "child exited {code}: {}",
+                tail.lines().last().unwrap_or("").trim()
+            ))
+        }
+        None => ChildEnd::Failed("child reported no exit status".to_string()),
+    }
+}
+
+/// Kind of the most recent failed attempt.
+enum LastFailure {
+    Timeout,
+    Panic,
+    Ipc,
+    Error(RunError),
+}
+
+/// Drives one run to a verdict with process isolation: per attempt,
+/// fire the planned chaos faults as child flags, probe the cache
+/// parent-side (children never touch it), spawn-and-watch the child,
+/// and on retryable failure back off deterministically — the same
+/// seeded schedule as the in-process supervisor. An OOM kill is
+/// terminal: the same allocation would fail identically, so retrying
+/// only burns the budget.
+pub fn supervise_isolated(
+    key: &str,
+    sup: &SupervisorOptions,
+    iso: &IsolateOptions,
+    faults: &[ChaosFault],
+) -> (Option<SupervisedRun>, RunLog) {
+    let policy = &sup.retry;
+    let token = RetryToken::new(sup.backoff_seed).mix_str(key);
+    let stall_ms = sup.chaos_stall().as_millis();
+    let mut failures = Vec::new();
+    let mut quarantine: Option<String> = None;
+    let mut last = LastFailure::Timeout;
+    for attempt in 0..=policy.max_retries {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_nanos(policy.delay_ns(token, attempt) as u64));
+        }
+        // Chaos worker faults fire inside the child, mirroring the
+        // in-process ordering: a fault-bearing attempt never reaches
+        // the cache probe.
+        let mut extra: Vec<String> = Vec::new();
+        for fault in faults {
+            let fires = if fault.sticky {
+                attempt >= fault.attempt
+            } else {
+                attempt == fault.attempt
+            };
+            if !fires {
+                continue;
+            }
+            match fault.class {
+                ChaosClass::WorkerPanic => extra.push("--chaos-panic".to_string()),
+                ChaosClass::WorkerStall => {
+                    extra.push("--chaos-stall-ms".to_string());
+                    extra.push(stall_ms.to_string());
+                }
+                _ => {}
+            }
+        }
+        if iso.oom_key.as_deref().is_some_and(|s| key.contains(s)) {
+            extra.push("--chaos-oom".to_string());
+        }
+        if iso.stall_key.as_deref().is_some_and(|s| key.contains(s)) {
+            extra.push("--chaos-stall-ms".to_string());
+            extra.push(stall_ms.to_string());
+        }
+        if extra.is_empty() {
+            if let Some(dir) = sup.matrix.cache_dir.as_deref() {
+                match cache::load_checked(dir, key) {
+                    cache::CacheOutcome::Hit(report) => {
+                        let mut log = RunLog {
+                            verdict: if attempt > 0 {
+                                RunVerdict::Retried { attempts: attempt }
+                            } else {
+                                RunVerdict::Ok
+                            },
+                            failures,
+                            quarantine: None,
+                            error: None,
+                        };
+                        log.absorb_quarantine(quarantine);
+                        return (
+                            Some(SupervisedRun {
+                                report: *report,
+                                cache_hit: true,
+                                quarantined: None,
+                            }),
+                            log,
+                        );
+                    }
+                    cache::CacheOutcome::Quarantined { reason, .. } => {
+                        if quarantine.is_none() {
+                            quarantine = Some(reason);
+                        }
+                    }
+                    cache::CacheOutcome::Miss => {}
+                }
+            }
+        }
+        match run_attempt(iso, key, &extra, sup.watchdog) {
+            ChildEnd::Report(report) => {
+                if let Some(dir) = sup.matrix.cache_dir.as_deref() {
+                    cache::store(dir, key, &report);
+                }
+                let mut log = RunLog {
+                    verdict: if attempt > 0 {
+                        RunVerdict::Retried { attempts: attempt }
+                    } else {
+                        RunVerdict::Ok
+                    },
+                    failures,
+                    quarantine: None,
+                    error: None,
+                };
+                log.absorb_quarantine(quarantine);
+                return (
+                    Some(SupervisedRun {
+                        report: *report,
+                        cache_hit: false,
+                        quarantined: None,
+                    }),
+                    log,
+                );
+            }
+            ChildEnd::OomKilled => {
+                failures.push(format!(
+                    "attempt {attempt}: child exceeded its address-space limit and was terminated"
+                ));
+                return (
+                    None,
+                    RunLog {
+                        verdict: RunVerdict::OomKilled {
+                            attempts: attempt + 1,
+                        },
+                        failures,
+                        quarantine,
+                        error: None,
+                    },
+                );
+            }
+            ChildEnd::TimedOut => {
+                failures.push(format!("attempt {attempt}: watchdog timeout"));
+                last = LastFailure::Timeout;
+            }
+            ChildEnd::Panicked(message) => {
+                failures.push(format!("attempt {attempt}: panicked: {message}"));
+                last = LastFailure::Panic;
+            }
+            ChildEnd::IpcCorrupt(message) => {
+                failures.push(format!("attempt {attempt}: ipc frame rejected: {message}"));
+                last = LastFailure::Ipc;
+            }
+            ChildEnd::Failed(message) => {
+                failures.push(format!("attempt {attempt}: {message}"));
+                last = LastFailure::Error(RunError::ChildFailed(message));
+            }
+        }
+    }
+    let attempts = policy.max_retries + 1;
+    let (verdict, error) = match last {
+        LastFailure::Timeout => (RunVerdict::TimedOut { attempts }, None),
+        LastFailure::Panic => (RunVerdict::Panicked { attempts }, None),
+        LastFailure::Ipc => (RunVerdict::IpcCorrupt { attempts }, None),
+        LastFailure::Error(e) => (RunVerdict::Rejected, Some(e)),
+    };
+    (
+        None,
+        RunLog {
+            verdict,
+            failures,
+            quarantine,
+            error,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::MatrixOptions;
+    use plp_core::retry::RetryPolicy;
+
+    fn report_frame_roundtrip_key() -> (String, RunReport) {
+        (
+            format!("{}|isolate-test", cache::CACHE_FORMAT),
+            RunReport::default(),
+        )
+    }
+
+    #[test]
+    fn report_frame_round_trips_and_rejects_corruption() {
+        let (key, report) = report_frame_roundtrip_key();
+        let bytes = encode_report(&key, &report);
+        assert_eq!(decode_report(&key, &bytes).unwrap(), report);
+        // Truncations at every prefix fail closed.
+        for cut in 0..bytes.len() {
+            assert!(decode_report(&key, &bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // A flipped payload byte fails the frame checksum.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(decode_report(&key, &flipped).is_err());
+        // The wrong key fails the cache codec's stored-key check.
+        assert!(decode_report("some other key", &bytes).is_err());
+        // Trailing garbage after a valid frame is rejected too.
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(decode_report(&key, &trailing).is_err());
+    }
+
+    #[test]
+    fn panic_messages_extract_deterministically() {
+        let stderr = b"thread 'main' panicked at crates/bench/src/bin/all.rs:12:5:\n\
+                       chaos: injected worker panic\n\
+                       note: run with `RUST_BACKTRACE=1` environment variable to display a backtrace\n";
+        assert_eq!(
+            panic_message_from_stderr(stderr),
+            "chaos: injected worker panic"
+        );
+        assert_eq!(
+            panic_message_from_stderr(b"no panic shape here"),
+            "child panicked (exit 101)"
+        );
+    }
+
+    /// The watchdog satellite: a stalled child is SIGKILLed for real —
+    /// afterwards no process with the marker survives, and no
+    /// `plp-run-attempt` thread was ever spawned (process isolation
+    /// replaced thread abandonment).
+    #[test]
+    fn tripped_watchdog_leaves_no_live_child_and_no_attempt_threads() {
+        let marker = format!("plp-isolate-stall-marker-{}", std::process::id());
+        let mut sup = SupervisorOptions::new(MatrixOptions::serial());
+        sup.watchdog = Duration::from_millis(200);
+        sup.retry = RetryPolicy::constant(1, 1000.0);
+        // `sh -c 'sleep 30 # marker'` ignores the trailing protocol
+        // arguments (they land in $0/$@) and sleeps far past the
+        // watchdog on every attempt.
+        let iso = IsolateOptions {
+            exe: PathBuf::from("/bin/sh"),
+            base_args: vec!["-c".to_string(), format!("sleep 30 # {marker}")],
+            limits: ResourceLimits {
+                address_space_bytes: None,
+                cpu_secs: None,
+            },
+            oom_key: None,
+            stall_key: None,
+        };
+        let (run, log) = supervise_isolated("stall-key", &sup, &iso, &[]);
+        assert!(run.is_none());
+        assert_eq!(log.verdict, RunVerdict::TimedOut { attempts: 2 });
+        assert_eq!(
+            log.failures,
+            vec![
+                "attempt 0: watchdog timeout".to_string(),
+                "attempt 1: watchdog timeout".to_string()
+            ]
+        );
+        // No child survived the SIGKILL: no process's cmdline still
+        // carries the marker.
+        assert!(
+            !any_process_cmdline_contains(&marker),
+            "a SIGKILLed child must not survive the sweep"
+        );
+        // And no abandoned attempt thread exists in this process.
+        assert!(
+            !any_own_thread_named("plp-run-attempt"),
+            "isolated supervision must not spawn attempt threads"
+        );
+    }
+
+    fn any_process_cmdline_contains(needle: &str) -> bool {
+        let Ok(entries) = std::fs::read_dir("/proc") else {
+            return false;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(pid) = name.to_str().filter(|n| n.bytes().all(|b| b.is_ascii_digit()))
+            else {
+                continue;
+            };
+            if pid.parse::<u32>() == Ok(std::process::id()) {
+                continue;
+            }
+            if let Ok(cmdline) = std::fs::read(entry.path().join("cmdline")) {
+                if String::from_utf8_lossy(&cmdline).contains(needle) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn any_own_thread_named(needle: &str) -> bool {
+        let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+            return false;
+        };
+        for task in tasks.flatten() {
+            if let Ok(comm) = std::fs::read_to_string(task.path().join("comm")) {
+                if comm.trim() == needle {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}

@@ -11,6 +11,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod crash;
+pub mod isolate;
 pub mod matrix;
 pub mod specs;
 pub mod supervisor;
@@ -21,6 +22,7 @@ use plp_trace::{spec, WorkloadProfile};
 
 pub use chaos::{ChaosOptions, ChaosPlan};
 pub use crash::{ChildSpec, HarnessOptions, HarnessReport};
+pub use isolate::{IsolateOptions, ResourceLimits};
 pub use matrix::{
     execute, execute_supervised, default_cache_dir, time_sweep, MatrixOptions, MatrixStats,
     ResultSet, RunRequest, SweepTiming,

@@ -403,18 +403,24 @@ pub fn execute_supervised(
 
             let (run, mut log) = match outcome {
                 Some((run, log)) => (Some(run), log),
-                None => supervisor::supervise(key, sup, |attempt| {
-                    let job = AttemptJob {
-                        req: (*req).clone(),
-                        key: key.clone(),
-                        traces: Arc::clone(&traces),
-                        cache_dir: opts.cache_dir.clone(),
-                        faults: faults.clone(),
-                        stall,
-                        cache_hits: Arc::clone(&cache_hits),
-                    };
-                    Box::new(move || job.run(attempt))
-                }),
+                // Isolated attempts re-exec the harness binary and
+                // never share this process's traces or cache handles;
+                // the in-process path keeps the thread-pool fast path.
+                None => match &sup.isolation {
+                    Some(iso) => crate::isolate::supervise_isolated(key, sup, iso, &faults),
+                    None => supervisor::supervise(key, sup, |attempt| {
+                        let job = AttemptJob {
+                            req: (*req).clone(),
+                            key: key.clone(),
+                            traces: Arc::clone(&traces),
+                            cache_dir: opts.cache_dir.clone(),
+                            faults: faults.clone(),
+                            stall,
+                            cache_hits: Arc::clone(&cache_hits),
+                        };
+                        Box::new(move || job.run(attempt))
+                    }),
+                },
             };
             log.absorb_quarantine(pre_quarantine);
             if let Some(run) = run {
@@ -463,6 +469,18 @@ pub fn execute_supervised(
             .unwrap_or_else(PoisonError::into_inner),
     };
     (ResultSet { reports }, stats, degradation)
+}
+
+/// Runs one request in the calling process with a private trace
+/// store — the isolated child's (`--run-one`) whole job. No cache, no
+/// supervision: the parent owns both.
+///
+/// # Errors
+///
+/// Returns a typed [`RunError`] for spec bugs — an unknown benchmark
+/// name or an invalid configuration.
+pub fn run_single(req: &RunRequest) -> Result<RunReport, RunError> {
+    run_request(req, &TraceStore::new())
 }
 
 /// Runs one request, sharing its trace through `traces`.

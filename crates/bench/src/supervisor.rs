@@ -18,7 +18,11 @@
 //! An artificially stalled attempt therefore finishes in the
 //! background and may bump the cache-hit counter after stats are
 //! collected; reports and stdout are unaffected because result slots
-//! are written once by the retry driver only.
+//! are written once by the retry driver only. Process isolation
+//! (`crate::isolate`, [`SupervisorOptions::isolation`]) removes the
+//! edge entirely: each attempt re-execs the harness binary under
+//! rlimits, so a watchdog trip is a real SIGKILL and nothing is ever
+//! abandoned.
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -42,6 +46,10 @@ pub enum RunError {
     InvalidConfig(ConfigError),
     /// The OS refused to spawn the attempt thread.
     SpawnFailed(String),
+    /// An isolated child process died in a way the supervisor cannot
+    /// classify: an unexpected exit code or fatal signal outside the
+    /// `--run-one` protocol.
+    ChildFailed(String),
 }
 
 impl RunError {
@@ -50,7 +58,7 @@ impl RunError {
     /// every attempt identically, so the supervisor rejects them
     /// immediately instead of burning the retry budget.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, RunError::SpawnFailed(_))
+        matches!(self, RunError::SpawnFailed(_) | RunError::ChildFailed(_))
     }
 }
 
@@ -60,6 +68,7 @@ impl std::fmt::Display for RunError {
             RunError::UnknownBenchmark(b) => write!(f, "unknown benchmark '{b}' in run request"),
             RunError::InvalidConfig(e) => write!(f, "invalid configuration in run request: {e}"),
             RunError::SpawnFailed(e) => write!(f, "could not spawn attempt thread: {e}"),
+            RunError::ChildFailed(e) => write!(f, "isolated child failed: {e}"),
         }
     }
 }
@@ -81,6 +90,10 @@ pub struct SupervisorOptions {
     pub backoff_seed: u64,
     /// Harness-level fault injection, if enabled.
     pub chaos: Option<ChaosOptions>,
+    /// Process isolation: when set, every attempt re-execs the harness
+    /// binary under rlimits (`crate::isolate`) instead of running on
+    /// an in-process thread. Warm-cache fast paths are unaffected.
+    pub isolation: Option<crate::isolate::IsolateOptions>,
 }
 
 impl SupervisorOptions {
@@ -98,6 +111,7 @@ impl SupervisorOptions {
                 .with_jitter(0.25),
             backoff_seed: 0x5355_5045_5256_4953, // "SUPERVIS"
             chaos: None,
+            isolation: None,
         }
     }
 
@@ -142,6 +156,21 @@ pub enum RunVerdict {
         /// The failpoint the kill landed on (stable kebab name).
         failpoint: &'static str,
     },
+    /// The isolated child exceeded its address-space rlimit and was
+    /// terminated by the allocator's abort. Terminal on the first
+    /// occurrence — the same allocation would fail identically, so
+    /// the retry budget is not burned; no report exists.
+    OomKilled {
+        /// Attempts made (always 1 more than the failing attempt's
+        /// index — OOM is never retried).
+        attempts: u32,
+    },
+    /// The isolated child exited cleanly but its result frame failed
+    /// integrity verification on every attempt; no report exists.
+    IpcCorrupt {
+        /// Attempts made (initial try + retries).
+        attempts: u32,
+    },
 }
 
 impl RunVerdict {
@@ -155,6 +184,8 @@ impl RunVerdict {
             RunVerdict::Panicked { .. } => "panicked",
             RunVerdict::Rejected => "rejected",
             RunVerdict::KilledByHarness { .. } => "killed-by-harness",
+            RunVerdict::OomKilled { .. } => "oom-killed",
+            RunVerdict::IpcCorrupt { .. } => "ipc-corrupt",
         }
     }
 
@@ -221,6 +252,10 @@ pub struct VerdictCounts {
     pub rejected: usize,
     /// Runs the crash harness SIGKILLed on purpose at a failpoint.
     pub killed_by_harness: usize,
+    /// Isolated children terminated for exceeding their memory rlimit.
+    pub oom_killed: usize,
+    /// Isolated children whose result frames never verified.
+    pub ipc_corrupt: usize,
 }
 
 impl VerdictCounts {
@@ -228,7 +263,7 @@ impl VerdictCounts {
     /// Intentional harness kills are not losses: the kill site was the
     /// experiment.
     pub fn lost(&self) -> usize {
-        self.timed_out + self.panicked + self.rejected
+        self.timed_out + self.panicked + self.rejected + self.oom_killed + self.ipc_corrupt
     }
 }
 
@@ -287,6 +322,8 @@ impl DegradationReport {
                 RunVerdict::Panicked { .. } => counts.panicked += 1,
                 RunVerdict::Rejected => counts.rejected += 1,
                 RunVerdict::KilledByHarness { .. } => counts.killed_by_harness += 1,
+                RunVerdict::OomKilled { .. } => counts.oom_killed += 1,
+                RunVerdict::IpcCorrupt { .. } => counts.ipc_corrupt += 1,
             }
         }
         if log.verdict != RunVerdict::Ok {
@@ -335,6 +372,12 @@ impl DegradationReport {
             out.push_str(&format!(
                 "[plp-bench] crash-harness: {} runs killed on purpose at failpoints\n",
                 c.killed_by_harness
+            ));
+        }
+        if c.oom_killed + c.ipc_corrupt > 0 {
+            out.push_str(&format!(
+                "[plp-bench] isolation: {} runs oom-killed, {} ipc-corrupt\n",
+                c.oom_killed, c.ipc_corrupt
             ));
         }
         if self.grouped.len() > 1 {
@@ -691,6 +734,36 @@ mod tests {
         assert_eq!(groups[1].1.retried, 1);
         // Mixed-topology reports render a per-group line.
         assert!(report.render().contains("topology 4x2: 1 ok, 1 recovered, 0 lost"));
+    }
+
+    #[test]
+    fn isolation_verdicts_count_as_lost_and_render() {
+        let mut report = DegradationReport::new(Vec::new());
+        report.record("oom/run", {
+            let mut log = RunLog::clean();
+            log.verdict = RunVerdict::OomKilled { attempts: 1 };
+            log
+        });
+        report.record("ipc/run", {
+            let mut log = RunLog::clean();
+            log.verdict = RunVerdict::IpcCorrupt { attempts: 3 };
+            log
+        });
+        assert_eq!(report.counts().oom_killed, 1);
+        assert_eq!(report.counts().ipc_corrupt, 1);
+        assert_eq!(report.counts().lost(), 2);
+        assert!(!report.fully_recovered());
+        let oom = RunVerdict::OomKilled { attempts: 1 };
+        assert_eq!(oom.name(), "oom-killed");
+        assert!(!oom.recovered());
+        let rendered = report.render();
+        assert!(rendered.contains("1 runs oom-killed, 1 ipc-corrupt"));
+        assert!(rendered.contains("oom-killed oom/run"));
+        assert!(rendered.contains("ipc-corrupt ipc/run"));
+        // The child-failure error is retryable (a transient spawn or
+        // signal problem), unlike spec bugs.
+        assert!(RunError::ChildFailed("signal 11".to_string()).is_retryable());
+        assert!(!RunError::UnknownBenchmark("x".to_string()).is_retryable());
     }
 
     #[test]

@@ -36,6 +36,7 @@ use plp_events::addr::{BlockAddr, BLOCKS_PER_PAGE};
 use plp_nvm::image::{read_image, ImageHeader, ImageWriter};
 use plp_nvm::NvmError;
 
+use crate::failpoint::{Failpoint, FailpointRegistry};
 use crate::recovery::PersistImage;
 use crate::SystemConfig;
 
@@ -54,6 +55,23 @@ pub const TAG_SEAL: u8 = 6;
 /// Frame tag: one page-overflow re-encryption, atomic with its
 /// carrier tuple.
 pub const TAG_OVERFLOW: u8 = 7;
+/// Frame tag (recovered image): one repaired block — address, MAC and
+/// ciphertext, written by recovery's canonical writeback.
+pub const TAG_REC_BLOCK: u8 = 8;
+/// Frame tag (recovered image): one counter block by page index.
+pub const TAG_REC_COUNTER: u8 = 9;
+/// Frame tag (recovered image): the sorted list of persist ids that
+/// were fully durable at the crash — carried forward verbatim so
+/// recovery is monotone (never *less* recovered after a second kill).
+pub const TAG_REC_IDS: u8 = 10;
+/// Frame tag (recovered image): the sorted addresses recovery fenced
+/// off as damaged. Their data and MACs are deliberately absent, so a
+/// re-recovery re-quarantines them rather than resurrecting garbage.
+pub const TAG_REC_QUARANTINE: u8 = 11;
+/// Frame tag (recovered image): the commit record — adopted root and
+/// seal count. Its presence marks an image as canonical-recovered;
+/// it is always the final frame recovery writes before the rename.
+pub const TAG_ROOT_COMMIT: u8 = 12;
 
 const COUNTERS_BYTES: usize = 8 + BLOCKS_PER_PAGE;
 
@@ -276,6 +294,11 @@ pub struct ReplayedImage {
     /// Bytes discarded as a torn tail (non-zero iff the kill landed
     /// mid-append).
     pub torn_tail_bytes: u64,
+    /// Whether the image is a canonical recovered image (its commit
+    /// frame is on disk) — i.e. a prior [`recover_image`] completed.
+    pub recovered: bool,
+    /// Addresses a prior recovery quarantined (empty for raw images).
+    pub quarantined: BTreeSet<BlockAddr>,
 }
 
 fn le_u64(p: &[u8], off: usize) -> u64 {
@@ -317,6 +340,8 @@ pub fn replay_image(path: &Path, key: SipKey) -> Result<ReplayedImage, ReplayErr
     // Component bitmask per id: data=1, counter=2, mac=4, root=8.
     let mut components: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
     let mut seals = 0u64;
+    let mut recovered = false;
+    let mut quarantined: BTreeSet<BlockAddr> = BTreeSet::new();
 
     for rec in &contents.records {
         let p = rec.payload.as_slice();
@@ -389,6 +414,44 @@ pub fn replay_image(path: &Path, key: SipKey) -> Result<ReplayedImage, ReplayErr
                 image.data.insert(addr, le_cipher(p, 24));
                 complete_ids.insert(id);
             }
+            TAG_REC_BLOCK => {
+                if p.len() != 16 + 64 {
+                    return Err(bad());
+                }
+                let addr = BlockAddr::new(le_u64(p, 0));
+                image.macs.insert(addr, MacTag::from_raw(le_u64(p, 8)));
+                image.data.insert(addr, le_cipher(p, 16));
+            }
+            TAG_REC_COUNTER => {
+                if p.len() != 8 + COUNTERS_BYTES {
+                    return Err(bad());
+                }
+                image.counters.insert(le_u64(p, 0), le_counters(p, 8)?);
+            }
+            TAG_REC_IDS => {
+                if p.len() % 8 != 0 {
+                    return Err(bad());
+                }
+                for off in (0..p.len()).step_by(8) {
+                    complete_ids.insert(le_u64(p, off));
+                }
+            }
+            TAG_REC_QUARANTINE => {
+                if p.len() % 8 != 0 {
+                    return Err(bad());
+                }
+                for off in (0..p.len()).step_by(8) {
+                    quarantined.insert(BlockAddr::new(le_u64(p, off)));
+                }
+            }
+            TAG_ROOT_COMMIT => {
+                if p.len() != 16 {
+                    return Err(bad());
+                }
+                image.root = le_u64(p, 0);
+                seals = le_u64(p, 8);
+                recovered = true;
+            }
             tag => {
                 return Err(ReplayError::BadFrame {
                     tag,
@@ -413,6 +476,146 @@ pub fn replay_image(path: &Path, key: SipKey) -> Result<ReplayedImage, ReplayErr
         seals,
         frames: contents.records.len(),
         torn_tail_bytes: contents.torn_tail_bytes,
+        recovered,
+        quarantined,
+    })
+}
+
+/// What one durable-recovery attempt did to the on-device image.
+#[derive(Debug)]
+pub struct RecoveryWriteback {
+    /// The repair analysis (same outcome `RecoveryManager::recover`
+    /// returns for an in-memory image).
+    pub outcome: crate::RecoveryOutcome,
+    /// The image state *before* this attempt touched anything.
+    pub replayed: ReplayedImage,
+    /// Whether the image file was rewritten. `false` means the image
+    /// was already a canonical recovered image and this attempt was a
+    /// byte-identical no-op — the idempotence fixpoint.
+    pub rewritten: bool,
+}
+
+fn fp_hit(reg: &mut Option<&mut FailpointRegistry>, point: Failpoint) {
+    if let Some(r) = reg.as_deref_mut() {
+        r.hit(point);
+    }
+}
+
+/// Path of the scratch file recovery writes before its atomic rename.
+pub fn recovery_scratch_path(image: &Path) -> std::path::PathBuf {
+    let mut os = image.as_os_str().to_os_string();
+    os.push(".rec");
+    std::path::PathBuf::from(os)
+}
+
+/// Durable, crash-consistent recovery of the image at `path`.
+///
+/// Replays the image, runs `RecoveryManager::recover`, then makes the
+/// repair itself durable: the canonical recovered image is written
+/// frame-by-frame to a scratch file through the same write-through
+/// medium the persist path uses, and committed over the original with
+/// one atomic rename. A SIGKILL at any instant leaves either the
+/// original image intact (commit not reached) or the fully recovered
+/// one (commit done) — never a half-repaired image — so recovery is
+/// idempotent and monotone under nested crashes.
+///
+/// The four recovery failpoints fire in order: `pre-repair` before
+/// anything is decided, `mid-repair-writeback` before each scratch
+/// frame, `pre-root-commit` after the scratch is complete, and
+/// `post-root-commit` after the rename.
+///
+/// An image that is already canonical-recovered and agrees with the
+/// fresh analysis is left untouched (`rewritten: false`).
+pub fn recover_image(
+    path: &Path,
+    key: SipKey,
+    manager: &crate::RecoveryManager,
+    records: &[crate::PersistRecord],
+    expected: &crate::ObserverExpectation,
+    registry: Option<&mut FailpointRegistry>,
+) -> Result<RecoveryWriteback, ReplayError> {
+    let mut reg = registry;
+    fp_hit(&mut reg, Failpoint::RecoveryPreRepair);
+    let replayed = replay_image(path, key)?;
+    let outcome = manager.recover(&replayed.image, records, expected);
+
+    // Fixpoint test: a canonical recovered image whose fresh analysis
+    // changes nothing is left byte-identical on disk.
+    let quarantine_now: BTreeSet<BlockAddr> = outcome.quarantined().into_iter().collect();
+    if replayed.recovered
+        && replayed.torn_tail_bytes == 0
+        && !outcome.root.needed_repair()
+        && quarantine_now == replayed.quarantined
+    {
+        return Ok(RecoveryWriteback {
+            outcome,
+            replayed,
+            rewritten: false,
+        });
+    }
+
+    let scratch = recovery_scratch_path(path);
+    let mut writer = ImageWriter::create(&scratch, &replayed.header)?;
+
+    // Counter blocks first (they are what the adopted root is rebuilt
+    // from), then surviving blocks, then the bookkeeping frames. All
+    // iteration is sorted so the canonical image is deterministic.
+    let mut pages: Vec<u64> = replayed.image.counters.keys().copied().collect();
+    pages.sort_unstable();
+    for page in pages {
+        fp_hit(&mut reg, Failpoint::RecoveryMidWriteback);
+        let counters = &replayed.image.counters[&page];
+        let mut p = Vec::with_capacity(8 + COUNTERS_BYTES);
+        p.extend_from_slice(&page.to_le_bytes());
+        p.extend_from_slice(&counters.to_bytes());
+        writer.append(TAG_REC_COUNTER, &p)?;
+    }
+    let mut addrs: Vec<BlockAddr> = replayed
+        .image
+        .data
+        .keys()
+        .filter(|a| replayed.image.macs.contains_key(a) && !quarantine_now.contains(a))
+        .copied()
+        .collect();
+    addrs.sort();
+    for addr in addrs {
+        fp_hit(&mut reg, Failpoint::RecoveryMidWriteback);
+        let mut p = Vec::with_capacity(16 + 64);
+        p.extend_from_slice(&addr.index().to_le_bytes());
+        p.extend_from_slice(&replayed.image.macs[&addr].raw().to_le_bytes());
+        p.extend_from_slice(replayed.image.data[&addr].as_bytes());
+        writer.append(TAG_REC_BLOCK, &p)?;
+    }
+    fp_hit(&mut reg, Failpoint::RecoveryMidWriteback);
+    let mut ids = Vec::with_capacity(replayed.complete_ids.len() * 8);
+    for id in &replayed.complete_ids {
+        ids.extend_from_slice(&id.to_le_bytes());
+    }
+    writer.append(TAG_REC_IDS, &ids)?;
+    if !quarantine_now.is_empty() {
+        fp_hit(&mut reg, Failpoint::RecoveryMidWriteback);
+        let mut q = Vec::with_capacity(quarantine_now.len() * 8);
+        for addr in &quarantine_now {
+            q.extend_from_slice(&addr.index().to_le_bytes());
+        }
+        writer.append(TAG_REC_QUARANTINE, &q)?;
+    }
+    let mut commit = Vec::with_capacity(16);
+    commit.extend_from_slice(&outcome.adopted_root.to_le_bytes());
+    commit.extend_from_slice(&replayed.seals.to_le_bytes());
+    writer.append(TAG_ROOT_COMMIT, &commit)?;
+    drop(writer);
+
+    fp_hit(&mut reg, Failpoint::RecoveryPreRootCommit);
+    std::fs::rename(&scratch, path).map_err(|_| ReplayError::Image(NvmError::ImageIo {
+        op: "rename",
+    }))?;
+    fp_hit(&mut reg, Failpoint::RecoveryPostRootCommit);
+
+    Ok(RecoveryWriteback {
+        outcome,
+        replayed,
+        rewritten: true,
     })
 }
 
@@ -567,6 +770,110 @@ mod tests {
         let replayed = replay_image(&path, setup.config().key).unwrap();
         assert!(replayed.partial_ids.is_empty());
         assert!(replayed.complete_ids.len() > 100);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Observer expectation for the completely-persisted prefix: the
+    /// program-order fold the crash harness judges against.
+    fn expectation_for(
+        records: &[PersistRecord],
+        complete: &BTreeSet<u64>,
+    ) -> crate::ObserverExpectation {
+        let mut plaintexts = std::collections::HashMap::new();
+        for r in records.iter().filter(|r| complete.contains(&r.id.0)) {
+            plaintexts.insert(r.addr, r.plaintext);
+        }
+        crate::ObserverExpectation { plaintexts }
+    }
+
+    /// Durable recovery of a torn image commits a canonical recovered
+    /// image (complete ids preserved, adopted root persisted), and a
+    /// second recovery is a byte-identical no-op fixpoint.
+    #[test]
+    fn recover_image_commits_then_fixpoints() {
+        let setup = setup_for(UpdateScheme::Sp);
+        let trace = setup.generate_trace(8_000);
+        let path = temp_image("recover-commit");
+        let mut sim = setup.simulation();
+        sim.attach_durable_sink(DurableSink::create(&path, setup.config(), 7).unwrap());
+        sim.arm_failpoints(FailpointRegistry::observe(FailpointPlan {
+            point: Failpoint::MidTuple,
+            hit: 100,
+        }));
+        let (report, _) = sim.run_with_state(&trace);
+
+        let key = setup.config().key;
+        let manager = crate::RecoveryManager::for_config(setup.config());
+        let before = replay_image(&path, key).unwrap();
+        assert!(!before.recovered);
+        let expected = expectation_for(&report.records, &before.complete_ids);
+
+        // Observe-mode registry so recovery failpoints count hits.
+        let mut reg = FailpointRegistry::observe(FailpointPlan {
+            point: Failpoint::RecoveryPreRootCommit,
+            hit: 0,
+        });
+        let wb = recover_image(&path, key, &manager, &report.records, &expected, Some(&mut reg))
+            .unwrap();
+        assert!(wb.rewritten);
+        assert_eq!(wb.outcome.verdict(), crate::FaultVerdict::Clean);
+        assert_eq!(reg.hit_count(Failpoint::RecoveryPreRepair), 1);
+        assert!(reg.hit_count(Failpoint::RecoveryMidWriteback) > 1);
+        assert_eq!(reg.hit_count(Failpoint::RecoveryPreRootCommit), 1);
+        assert_eq!(reg.hit_count(Failpoint::RecoveryPostRootCommit), 1);
+        assert!(reg.fired().is_some());
+
+        let after = replay_image(&path, key).unwrap();
+        assert!(after.recovered);
+        assert_eq!(after.torn_tail_bytes, 0);
+        assert_eq!(after.complete_ids, before.complete_ids);
+        assert_eq!(after.image.root, wb.outcome.adopted_root);
+        assert_eq!(after.image.counters, before.image.counters);
+        assert!(!recovery_scratch_path(&path).exists());
+
+        // Second recovery: byte-identical fixpoint, no rewrite.
+        let bytes1 = std::fs::read(&path).unwrap();
+        let wb2 = recover_image(&path, key, &manager, &report.records, &expected, None).unwrap();
+        assert!(!wb2.rewritten);
+        assert_eq!(wb2.outcome.verdict(), crate::FaultVerdict::Clean);
+        assert_eq!(std::fs::read(&path).unwrap(), bytes1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Quarantined addresses stay quarantined across recoveries: their
+    /// data never comes back, and the second pass re-detects exactly
+    /// the same loss (monotone, never silently "healed").
+    #[test]
+    fn recover_image_quarantine_is_sticky() {
+        let setup = setup_for(UpdateScheme::Sp);
+        let trace = setup.generate_trace(8_000);
+        let path = temp_image("recover-quarantine");
+        let mut sim = setup.simulation();
+        sim.attach_durable_sink(DurableSink::create(&path, setup.config(), 7).unwrap());
+        let (report, _) = sim.run_with_state(&trace);
+
+        let key = setup.config().key;
+        let manager = crate::RecoveryManager::for_config(setup.config());
+        let before = replay_image(&path, key).unwrap();
+        // Expect one extra block the image never persisted completely:
+        // recovery must quarantine it (missing data fails its MAC).
+        let mut expected = expectation_for(&report.records, &before.complete_ids);
+        let ghost = BlockAddr::new(u64::MAX - 1);
+        expected.plaintexts.insert(ghost, Default::default());
+
+        let wb = recover_image(&path, key, &manager, &report.records, &expected, None).unwrap();
+        assert!(wb.rewritten);
+        assert_eq!(wb.outcome.quarantined(), vec![ghost]);
+        let mid = replay_image(&path, key).unwrap();
+        assert_eq!(mid.quarantined.iter().copied().collect::<Vec<_>>(), vec![ghost]);
+
+        let wb2 = recover_image(&path, key, &manager, &report.records, &expected, None).unwrap();
+        assert!(!wb2.rewritten);
+        assert_eq!(wb2.outcome.quarantined(), vec![ghost]);
+        assert_eq!(
+            wb2.outcome.verdict(),
+            crate::FaultVerdict::DetectedLoss
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -48,11 +48,39 @@ pub enum Failpoint {
     MidEpochFlush,
     /// After the epoch seal has been made durable.
     PostEpochSeal,
+    /// At the top of durable recovery, after the image has been
+    /// replayed but before any repair decision is made. A kill here
+    /// must leave the on-device image byte-identical.
+    RecoveryPreRepair,
+    /// Between frame appends while recovery writes the canonical
+    /// recovered image to its scratch file. A kill here leaves a
+    /// partial scratch next to an untouched original.
+    RecoveryMidWriteback,
+    /// After the scratch image is complete but before the atomic
+    /// rename that commits it over the original.
+    RecoveryPreRootCommit,
+    /// After the rename: the recovered image is the image.
+    RecoveryPostRootCommit,
 }
 
 impl Failpoint {
     /// Every failpoint, in catalog order.
-    pub const ALL: [Failpoint; 6] = [
+    pub const ALL: [Failpoint; 10] = [
+        Failpoint::MidTuple,
+        Failpoint::BetweenLevels,
+        Failpoint::PreRootSeal,
+        Failpoint::PostRootSeal,
+        Failpoint::MidEpochFlush,
+        Failpoint::PostEpochSeal,
+        Failpoint::RecoveryPreRepair,
+        Failpoint::RecoveryMidWriteback,
+        Failpoint::RecoveryPreRootCommit,
+        Failpoint::RecoveryPostRootCommit,
+    ];
+
+    /// The run-path points a live simulation can stop at — the sweep
+    /// catalog of the single-kill harness.
+    pub const RUN: [Failpoint; 6] = [
         Failpoint::MidTuple,
         Failpoint::BetweenLevels,
         Failpoint::PreRootSeal,
@@ -60,6 +88,21 @@ impl Failpoint {
         Failpoint::MidEpochFlush,
         Failpoint::PostEpochSeal,
     ];
+
+    /// The recovery-path points — the second-kill catalog of the
+    /// double-kill harness.
+    pub const RECOVERY: [Failpoint; 4] = [
+        Failpoint::RecoveryPreRepair,
+        Failpoint::RecoveryMidWriteback,
+        Failpoint::RecoveryPreRootCommit,
+        Failpoint::RecoveryPostRootCommit,
+    ];
+
+    /// Whether this point sits on the recovery path rather than the
+    /// live persist path.
+    pub fn is_recovery(self) -> bool {
+        Failpoint::RECOVERY.contains(&self)
+    }
 
     /// Stable kebab-case name (CLI flags, image filenames, reports).
     pub fn name(self) -> &'static str {
@@ -70,6 +113,10 @@ impl Failpoint {
             Failpoint::PostRootSeal => "post-root-seal",
             Failpoint::MidEpochFlush => "mid-epoch-flush",
             Failpoint::PostEpochSeal => "post-epoch-seal",
+            Failpoint::RecoveryPreRepair => "pre-repair",
+            Failpoint::RecoveryMidWriteback => "mid-repair-writeback",
+            Failpoint::RecoveryPreRootCommit => "pre-root-commit",
+            Failpoint::RecoveryPostRootCommit => "post-root-commit",
         }
     }
 
@@ -86,6 +133,10 @@ impl Failpoint {
             Failpoint::PostRootSeal => 3,
             Failpoint::MidEpochFlush => 4,
             Failpoint::PostEpochSeal => 5,
+            Failpoint::RecoveryPreRepair => 6,
+            Failpoint::RecoveryMidWriteback => 7,
+            Failpoint::RecoveryPreRootCommit => 8,
+            Failpoint::RecoveryPostRootCommit => 9,
         }
     }
 }
@@ -130,7 +181,7 @@ pub struct FiredFailpoint {
 pub struct FailpointRegistry {
     plan: FailpointPlan,
     mode: FailpointMode,
-    hits: [u64; 6],
+    hits: [u64; 10],
     persist: u64,
     fired: Option<FiredFailpoint>,
 }
@@ -142,7 +193,7 @@ impl FailpointRegistry {
         FailpointRegistry {
             plan,
             mode: FailpointMode::Observe,
-            hits: [0; 6],
+            hits: [0; 10],
             persist: 0,
             fired: None,
         }
@@ -234,6 +285,21 @@ mod tests {
             assert_eq!(Failpoint::parse(p.name()), Some(p));
         }
         assert_eq!(Failpoint::parse("nope"), None);
+    }
+
+    #[test]
+    fn catalog_splits_into_run_and_recovery() {
+        assert_eq!(Failpoint::RUN.len() + Failpoint::RECOVERY.len(), Failpoint::ALL.len());
+        for p in Failpoint::RUN {
+            assert!(!p.is_recovery());
+        }
+        for p in Failpoint::RECOVERY {
+            assert!(p.is_recovery());
+        }
+        // Slots are dense and unique across the whole catalog.
+        let mut slots: Vec<usize> = Failpoint::ALL.iter().map(|p| p.slot()).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..Failpoint::ALL.len()).collect::<Vec<_>>());
     }
 
     #[test]

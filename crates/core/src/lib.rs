@@ -57,7 +57,10 @@ mod tuple;
 mod wpq;
 
 pub use config::{ProtectionScope, SystemConfig, UpdateScheme};
-pub use crash::{replay_image, DurableSink, ReplayedImage};
+pub use crash::{
+    recover_image, recovery_scratch_path, replay_image, DurableSink, RecoveryWriteback,
+    ReplayedImage,
+};
 pub use error::ConfigError;
 pub use failpoint::{Failpoint, FailpointPlan, FailpointRegistry, FiredFailpoint};
 pub use fault::{

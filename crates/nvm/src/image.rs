@@ -154,7 +154,12 @@ fn read_u64(bytes: &[u8], off: usize) -> u64 {
 }
 
 /// Encodes one complete frame: `[tag][len u32][payload][fnv u64]`.
-fn encode_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+///
+/// Public because the frame format doubles as the supervisor's IPC
+/// envelope: an isolated matrix child returns its `RunReport` over a
+/// pipe as exactly one of these frames, so corruption detection on
+/// the wire reuses the medium's checksum discipline.
+pub fn encode_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(13 + payload.len());
     frame.push(tag);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -162,6 +167,28 @@ fn encode_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
     let sum = fnv1a(&frame);
     frame.extend_from_slice(&sum.to_le_bytes());
     frame
+}
+
+/// Decodes one frame from the front of `bytes`.
+///
+/// Returns `(tag, payload, frame_len)` when the leading frame is
+/// intact, `None` when it is truncated or fails its checksum — the
+/// same acceptance rule [`read_image`] applies per frame, exposed for
+/// pipe readers that receive frames outside an image file.
+pub fn decode_frame(bytes: &[u8]) -> Option<(u8, &[u8], usize)> {
+    if bytes.len() < 13 {
+        return None;
+    }
+    let len = read_u32(bytes, 1) as usize;
+    let end = 13usize.checked_add(len)?;
+    if bytes.len() < end {
+        return None;
+    }
+    let body = &bytes[..5 + len];
+    if read_u64(bytes, 5 + len) != fnv1a(body) {
+        return None;
+    }
+    Some((bytes[0], &bytes[5..5 + len], end))
 }
 
 /// Write-through appender for a device image.
@@ -313,6 +340,18 @@ mod tests {
 
     fn temp_path(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("plp_image_{}_{name}.img", std::process::id()))
+    }
+
+    #[test]
+    fn frame_codec_round_trips_and_rejects_corruption() {
+        let frame = encode_frame(9, b"hello");
+        let (tag, payload, used) = decode_frame(&frame).expect("intact frame decodes");
+        assert_eq!((tag, payload, used), (9, &b"hello"[..], frame.len()));
+        // Truncation and bit flips both read as "no frame".
+        assert_eq!(decode_frame(&frame[..frame.len() - 1]), None);
+        let mut flipped = frame.clone();
+        flipped[7] ^= 0x10;
+        assert_eq!(decode_frame(&flipped), None);
     }
 
     #[test]

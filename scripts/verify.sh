@@ -110,6 +110,32 @@ rm -rf "$unit_out" "$clean_ref" "$shard_out" "$shard_chaos_out" "$shard_dir"
   echo "verify: crash-harness SIGKILL sweep failed"; exit 1
 }
 
+# Nested-crash (double-kill) gate: kill a run, kill its recovery at
+# every recovery failpoint, and require a third process to recover
+# completely — correct schemes counter-exact, the unordered strawman
+# re-detecting exactly its original loss, every recovery failpoint
+# verifiably fired, and the complete-id set monotone across the
+# nesting. See DESIGN.md §14.
+./target/release/crash_harness 8000 7 --double-kill --points mid-tuple > /dev/null || {
+  echo "verify: double-kill nested-crash sweep failed"; exit 1
+}
+
+# Process-isolation gate: a reduced sweep where every run re-execs as
+# its own rlimited child returning its report over a checksummed pipe
+# frame must be stdout byte-identical to the in-process run. See
+# DESIGN.md §14; chaos parity and the OOM verdict are covered by
+# crates/bench/tests/isolation.rs.
+iso_out=$(mktemp)
+iso_ref=$(mktemp)
+cargo run --release -q -p plp-bench --bin all -- 6000 7 --no-cache > "$iso_ref"
+cargo run --release -q -p plp-bench --bin all -- 6000 7 --no-cache --isolate > "$iso_out" || {
+  echo "verify: isolated sweep failed (exit $?)"; exit 1
+}
+cmp "$iso_ref" "$iso_out" || {
+  echo "verify: isolated sweep stdout diverged from the in-process run"; exit 1
+}
+rm -f "$iso_out" "$iso_ref"
+
 # No-kill identity: attaching the file-backed medium must not perturb
 # the simulation — a child run with an image is stdout byte-identical
 # to the same run purely in memory.

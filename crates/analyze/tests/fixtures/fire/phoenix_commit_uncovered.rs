@@ -1,0 +1,25 @@
+//@ path: crates/core/src/system.rs
+//! F001 mutant shaped like the phoenix dual-copy root commit: the
+//! shadow-copy fast path (the standby copy is already current) returns
+//! before crossing any named failpoint, so no crash sweep can land
+//! inside the commit.
+
+pub struct System {
+    pub now: u64,
+    pub active_copy: u64,
+}
+
+impl System {
+    pub fn persist_block(&mut self, addr: u64, shadow_current: bool) -> u64 { //~ ERROR failpoint-coverage PLP-F001
+        if shadow_current {
+            // Flip the active copy without visiting a failpoint.
+            self.active_copy ^= 1;
+            return self.now + addr;
+        }
+        self.fp_hit(addr);
+        self.active_copy ^= 1;
+        self.now
+    }
+
+    fn fp_hit(&mut self, _addr: u64) {}
+}

@@ -1,0 +1,25 @@
+//@ path: crates/core/src/engine/triad_fx.rs
+//! E001 mutant shaped like the triad_nvm truncated walk: the node
+//! prepared at the persisted floor escapes unnoted when the walk
+//! bails into the relaxed upper region, hiding the floor update from
+//! the sanitizer tap.
+
+pub struct TriadMutant {
+    pub busy_until: u64,
+    pub lag: u64,
+}
+
+impl TriadMutant {
+    pub fn persist(&mut self, ctx: &mut EngineCtx, floor: u64, t: u64) -> u64 {
+        let node = ctx.node_ready(floor); //~ ERROR engine-contract PLP-E001
+        if floor > 1 {
+            // Relaxed region: defer the upper tree — but the floor
+            // node itself was prepared and is never reported.
+            self.lag = t + floor;
+            return t;
+        }
+        ctx.note_update(node, t);
+        self.busy_until = t;
+        t
+    }
+}

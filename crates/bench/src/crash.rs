@@ -670,8 +670,10 @@ pub struct HarnessOptions {
     pub instructions: u64,
     /// Trace seed.
     pub seed: u64,
-    /// Schemes to sweep; default: the four correct engines plus the
-    /// `unordered` strawman (which must demonstrably fail).
+    /// Schemes to sweep; default: every correct engine (`phoenix`
+    /// included via [`UpdateScheme::correct`]) plus the two schemes
+    /// that must demonstrably lose data — the `unordered` strawman
+    /// everywhere, and `triad_nvm` inside its relaxed flush window.
     pub schemes: Vec<UpdateScheme>,
     /// Failpoints to arm; default: the whole run-path catalog
     /// (epoch-only points are skipped for strict-persistency schemes;
@@ -692,6 +694,7 @@ impl Default for HarnessOptions {
     fn default() -> Self {
         let mut schemes: Vec<UpdateScheme> = UpdateScheme::correct().to_vec();
         schemes.push(UpdateScheme::Unordered);
+        schemes.push(UpdateScheme::TriadNvm);
         HarnessOptions {
             benchmark: "gcc".to_string(),
             instructions: 20_000,
@@ -851,6 +854,11 @@ pub fn run_harness(opts: &HarnessOptions, exe: &Path) -> Result<HarnessReport, S
 /// * every *correct* scheme: each applicable failpoint produced at
 ///   least one real kill, and every killed or completed cell is
 ///   [`Judgement::healthy`] — Clean or Repaired, counters matching;
+/// * `triad_nvm` (when swept): every kill *outside* the relaxed flush
+///   window is healthy (the strict slice tears atomically), at least
+///   one `between-levels` kill is unhealthy (the relaxed window
+///   genuinely loses data), and every loss is *detected* — never
+///   silent garbage, never an undetected stale rollback;
 /// * the `unordered` strawman (when swept): at least one kill is
 ///   *unhealthy* (Tables I/II — torn tuples lose data), but none may
 ///   be silent garbage ([`FaultVerdict::UndetectedCorruption`]) —
@@ -886,6 +894,32 @@ pub fn gate(schemes: &[UpdateScheme], cells: &[CellReport]) -> bool {
                 if !all_healthy {
                     return false;
                 }
+            }
+        } else if scheme == UpdateScheme::TriadNvm {
+            // The relaxed-tree class: strict below the floor, lossy
+            // (but detectably so) only inside the lazy flush window.
+            let mut lossy_in_window = false;
+            for c in &mine {
+                let judgement = match &c.outcome {
+                    CellOutcome::Killed { judgement, .. }
+                    | CellOutcome::NotReached { judgement } => judgement,
+                    _ => return false,
+                };
+                if matches!(
+                    judgement.verdict,
+                    FaultVerdict::UndetectedCorruption | FaultVerdict::StaleRollback
+                ) {
+                    return false;
+                }
+                if !judgement.healthy() {
+                    if c.point != Failpoint::BetweenLevels {
+                        return false;
+                    }
+                    lossy_in_window = true;
+                }
+            }
+            if mine.iter().any(|c| c.point == Failpoint::BetweenLevels) && !lossy_in_window {
+                return false;
             }
         } else {
             let mut lossy = false;
@@ -1189,6 +1223,11 @@ fn double_kill_cell(
 /// * every *correct* scheme: each recovery failpoint produced a real
 ///   second kill, recovery stayed monotone, and the final image
 ///   judges Clean with field-exact counters;
+/// * `triad_nvm` (when swept): a first kill outside the relaxed flush
+///   window tears its strict slice atomically, so the cell must judge
+///   Clean exactly like the correct class; a `between-levels` first
+///   kill may instead detect the stranded pair (Clean or
+///   DetectedLoss);
 /// * the `unordered` strawman (when swept): recovery stays monotone
 ///   and detects its loss — every cell's final verdict is
 ///   DetectedLoss, never UndetectedCorruption;
@@ -1219,11 +1258,20 @@ pub fn double_kill_gate(schemes: &[UpdateScheme], cells: &[DoubleKillCell]) -> b
             if !second_fired || !monotone {
                 return false;
             }
-            if correct.contains(&scheme) {
-                if *final_verdict != FaultVerdict::Clean || !counters_match {
-                    return false;
+            let ok = if correct.contains(&scheme) {
+                *final_verdict == FaultVerdict::Clean && *counters_match
+            } else if scheme == UpdateScheme::TriadNvm {
+                match cell.run_point {
+                    Failpoint::BetweenLevels => matches!(
+                        final_verdict,
+                        FaultVerdict::Clean | FaultVerdict::DetectedLoss
+                    ),
+                    _ => *final_verdict == FaultVerdict::Clean && *counters_match,
                 }
-            } else if *final_verdict != FaultVerdict::DetectedLoss {
+            } else {
+                *final_verdict == FaultVerdict::DetectedLoss
+            };
+            if !ok {
                 return false;
             }
         }
@@ -1569,5 +1617,117 @@ mod tests {
             CellOutcome::TimedOut,
         )];
         assert!(!gate(&[UpdateScheme::Unordered], &stuck));
+    }
+
+    /// The relaxed-tree class: `triad_nvm` must be healthy wherever
+    /// its strict slice holds, demonstrably (but detectably) lossy
+    /// inside the `between-levels` flush window.
+    #[test]
+    fn gate_holds_triad_to_the_relaxed_window_contract() {
+        let healthy = Judgement {
+            verdict: FaultVerdict::Clean,
+            counters_match: true,
+            complete: 10,
+            partial: 0,
+        };
+        let detected = Judgement {
+            verdict: FaultVerdict::DetectedLoss,
+            counters_match: false,
+            complete: 9,
+            partial: 1,
+        };
+        let cell = |point, judgement| CellReport {
+            scheme: UpdateScheme::TriadNvm,
+            point,
+            hit: 0,
+            outcome: CellOutcome::Killed {
+                persist: 10,
+                judgement,
+            },
+        };
+        // Healthy at strict points, detected loss in the window: pass.
+        let good = vec![
+            cell(Failpoint::MidTuple, healthy),
+            cell(Failpoint::PostRootSeal, healthy),
+            cell(Failpoint::BetweenLevels, detected),
+        ];
+        assert!(gate(&[UpdateScheme::TriadNvm], &good));
+        // The window may also be caught at a strict hit (healthy), but
+        // an all-healthy window means the relaxation never showed: fail.
+        let too_clean = vec![
+            cell(Failpoint::MidTuple, healthy),
+            cell(Failpoint::BetweenLevels, healthy),
+        ];
+        assert!(!gate(&[UpdateScheme::TriadNvm], &too_clean));
+        // Loss outside the window breaks the strict slice: fail.
+        let strict_loss = vec![
+            cell(Failpoint::MidTuple, detected),
+            cell(Failpoint::BetweenLevels, detected),
+        ];
+        assert!(!gate(&[UpdateScheme::TriadNvm], &strict_loss));
+        // Silent garbage fails even inside the window.
+        let silent = vec![cell(
+            Failpoint::BetweenLevels,
+            Judgement {
+                verdict: FaultVerdict::UndetectedCorruption,
+                ..detected
+            },
+        )];
+        assert!(!gate(&[UpdateScheme::TriadNvm], &silent));
+        // A window-less sweep (mid-tuple only) passes on health alone.
+        let no_window = vec![cell(Failpoint::MidTuple, healthy)];
+        assert!(gate(&[UpdateScheme::TriadNvm], &no_window));
+    }
+
+    /// Double-kill: `triad_nvm`'s mid-tuple first kill tears the
+    /// strict slice atomically and must land Clean like the correct
+    /// class; only a between-levels first kill may detect loss.
+    #[test]
+    fn double_kill_gate_triad_expects_clean_outside_the_window() {
+        let done = |verdict, counters_match| DoubleKillOutcome::Done {
+            first_persist: 5,
+            second_fired: true,
+            monotone: true,
+            final_verdict: verdict,
+            counters_match,
+            complete: 5,
+            quarantined: 0,
+        };
+        let cell = |run_point, outcome| DoubleKillCell {
+            scheme: UpdateScheme::TriadNvm,
+            run_point,
+            run_hit: 40,
+            recovery_point: Failpoint::RecoveryPreRepair,
+            recovery_hit: 0,
+            outcome,
+        };
+        let all_points = |outcome: DoubleKillOutcome, run_point| {
+            Failpoint::RECOVERY
+                .iter()
+                .map(|&rp| DoubleKillCell {
+                    recovery_point: rp,
+                    ..cell(run_point, outcome.clone())
+                })
+                .collect::<Vec<_>>()
+        };
+        let schemes = [UpdateScheme::TriadNvm];
+        // Clean at mid-tuple: pass.
+        let clean = all_points(done(FaultVerdict::Clean, true), Failpoint::MidTuple);
+        assert!(double_kill_gate(&schemes, &clean));
+        // DetectedLoss at mid-tuple: the strict slice tore — fail.
+        let torn = all_points(done(FaultVerdict::DetectedLoss, false), Failpoint::MidTuple);
+        assert!(!double_kill_gate(&schemes, &torn));
+        // DetectedLoss at between-levels: the relaxed window — pass.
+        let window = all_points(
+            done(FaultVerdict::DetectedLoss, false),
+            Failpoint::BetweenLevels,
+        );
+        assert!(double_kill_gate(&schemes, &window));
+        // Garbage never passes.
+        let garbage = all_points(
+            done(FaultVerdict::UndetectedCorruption, false),
+            Failpoint::BetweenLevels,
+        );
+        assert!(!double_kill_gate(&schemes, &garbage));
     }
 }

@@ -895,6 +895,68 @@ fn table2_render(_results: &ResultSet, settings: RunSettings) -> String {
     out
 }
 
+// ------------------------------------------------------------------ zoo
+
+/// Benchmarks the zoo artefact measures: a light/heavy persist-rate
+/// pair, matching the shard sweep's choice, keeps the matrix small.
+const ZOO_BENCHES: [&str; 2] = ["gcc", "milc"];
+
+/// The zoo's comparison columns: the paper's strict baseline bracketed
+/// by the two literature schemes at opposite ends of the
+/// runtime-vs-recovery frontier.
+fn zoo_schemes() -> [UpdateScheme; 3] {
+    let [triad, phoenix] = UpdateScheme::zoo();
+    [UpdateScheme::Sp, triad, phoenix]
+}
+
+fn zoo_requests(s: RunSettings) -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for bench in ZOO_BENCHES {
+        reqs.push(req(bench, cfg(UpdateScheme::SecureWb), s));
+        for scheme in zoo_schemes() {
+            reqs.push(req(bench, cfg(scheme), s));
+        }
+    }
+    reqs
+}
+
+fn zoo_render(results: &ResultSet, s: RunSettings) -> String {
+    let cols = zoo_schemes().map(|u| u.name());
+    let mut table = SeriesTable::new("bench", &cols);
+    let mut updates = [0u64; 3];
+    for bench in ZOO_BENCHES {
+        let base = results.report(bench, &cfg(UpdateScheme::SecureWb), s);
+        let row = zoo_schemes()
+            .iter()
+            .enumerate()
+            .map(|(i, &scheme)| {
+                let r = results.report(bench, &cfg(scheme), s);
+                updates[i] += r.engine.node_updates;
+                r.normalized_to(base)
+            })
+            .collect();
+        table.push(bench, row);
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "-- execution time normalized to secure_WB (runtime axis of the Pareto frontier)"
+    );
+    out.push_str(&table.render());
+    out.push('\n');
+    let [sp_u, triad_u, phoenix_u] = updates;
+    let _ = writeln!(
+        out,
+        "-- BMT node updates: sp {sp_u}, triad_nvm {triad_u} ({:.1}% of sp), phoenix {phoenix_u}",
+        triad_u as f64 * 100.0 / sp_u.max(1) as f64
+    );
+    let _ = writeln!(
+        out,
+        "recovery axis: see recovery_sweep (results/recovery_pareto.txt)"
+    );
+    out
+}
+
 // ---------------------------------------------------------- shard_sweep
 
 /// The sweep's topology points: shards ∈ {1, 2, 4, 8}, one client
@@ -906,11 +968,14 @@ pub const SHARD_POINTS: [(u32, u32); 4] = [(1, 1), (2, 2), (4, 4), (8, 8)];
 const SHARD_BENCHES: [&str; 2] = ["gcc", "milc"];
 
 /// The schemes the sweep compares: one strict, one epoch out-of-order,
-/// one coalescing.
-const SHARD_SCHEMES: [UpdateScheme; 3] = [
+/// one coalescing, plus the two zoo schemes so the truncated-walk and
+/// dual-copy engines are exercised under cross-shard coordination.
+const SHARD_SCHEMES: [UpdateScheme; 5] = [
     UpdateScheme::Sp,
     UpdateScheme::O3,
     UpdateScheme::Coalescing,
+    UpdateScheme::TriadNvm,
+    UpdateScheme::Phoenix,
 ];
 
 /// Sharded runs multiply total simulated work by the stream count;
@@ -999,7 +1064,7 @@ static SHARD_SPEC: ExperimentSpec = ExperimentSpec {
 
 // ------------------------------------------------------------- registry
 
-static ALL_SPECS: [ExperimentSpec; 14] = [
+static ALL_SPECS: [ExperimentSpec; 15] = [
     ExperimentSpec {
         id: "fig8",
         title: "Fig. 8",
@@ -1112,6 +1177,14 @@ static ALL_SPECS: [ExperimentSpec; 14] = [
         requests: ablation_requests,
         render: ablation_render,
     },
+    ExperimentSpec {
+        id: "zoo",
+        title: "Scheme zoo",
+        what: "triad_nvm and phoenix runtime overhead vs the sp baseline",
+        adjust: identity,
+        requests: zoo_requests,
+        render: zoo_render,
+    },
 ];
 
 #[cfg(test)]
@@ -1121,11 +1194,12 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_findable() {
         let mut ids: Vec<&str> = all_specs().iter().map(|s| s.id).collect();
-        assert_eq!(ids.len(), 14);
+        assert_eq!(ids.len(), 15);
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 14, "duplicate spec ids");
+        assert_eq!(ids.len(), 15, "duplicate spec ids");
         assert!(find("fig8").is_some());
+        assert!(find("zoo").is_some());
         assert!(find("nonesuch").is_none());
     }
 

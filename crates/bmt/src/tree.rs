@@ -202,6 +202,19 @@ impl BonsaiTree {
         self.store.populated
     }
 
+    /// Number of explicitly stored nodes at levels *shallower* than
+    /// `floor` (1-based; levels `1..floor`) — the slice a scheme that
+    /// durably persists levels `floor..=levels` must rebuild after a
+    /// crash. `floor == 1` means the whole tree is durable: nothing to
+    /// rebuild.
+    pub fn populated_nodes_above(&self, floor: u32) -> usize {
+        let cutoff = self.geometry.level_offset(floor);
+        self.store
+            .labels_deepest_first()
+            .filter(|l| l.raw() < cutoff)
+            .count()
+    }
+
     fn leaf_value_with(key: SipKey, cb: &CounterBlock) -> NodeValue {
         key.hash_words(&cb.content_words())
     }
@@ -382,6 +395,33 @@ mod tests {
         assert!(t.verify_consistent().is_ok());
         // Root of an all-default tree equals the level-1 default.
         assert_eq!(t.root(), t.node_value(NodeLabel::ROOT));
+    }
+
+    #[test]
+    fn populated_nodes_above_counts_the_rebuild_slice() {
+        let mut t = tree();
+        assert_eq!(t.populated_nodes_above(3), 0);
+        // One update populates a 4-node path: root, one node at each
+        // of levels 2 and 3, and the leaf.
+        t.update_leaf(9, &bumped(&[3]));
+        assert_eq!(t.populated_nodes(), 4);
+        // Floor 3: rebuild levels 1..3 — root + one level-2 node.
+        assert_eq!(t.populated_nodes_above(3), 2);
+        // Floor at the leaves: everything but the leaf itself.
+        assert_eq!(t.populated_nodes_above(4), 3);
+        // Floor 1: the whole tree is durable, nothing to rebuild.
+        assert_eq!(t.populated_nodes_above(1), 0);
+        // A second distinct leaf under the same level-2 subtree grows
+        // the shallow slice by at most one level-3 node... a different
+        // page entirely grows it by a full extra path minus the shared
+        // root.
+        t.update_leaf(500, &bumped(&[1]));
+        assert!(t.populated_nodes_above(4) > 3);
+        assert_eq!(
+            t.populated_nodes_above(4) + 2,
+            t.populated_nodes(),
+            "exactly the two leaves are below floor 4"
+        );
     }
 
     #[test]

@@ -18,8 +18,11 @@ pub enum UpdateScheme {
     /// baseline.
     SecureWb,
     /// `unordered`: write-through persists without Invariant 2 (no BMT
-    /// root-update ordering), similar to prior work (Triad-NVM). Fast
-    /// but NOT crash-recovery correct.
+    /// root-update ordering) — the paper's deliberately broken
+    /// strawman. Fast but NOT crash-recovery correct. (The actual
+    /// relaxed-tree design from the related literature is modeled by
+    /// [`UpdateScheme::TriadNvm`], which persists a strict lower slice
+    /// of the tree instead of nothing.)
     Unordered,
     /// `sp`: strict persistency with fully sequential leaf-to-root
     /// updates per persist.
@@ -38,6 +41,23 @@ pub enum UpdateScheme {
     /// instead of just the root. Not part of the paper's Table IV; it
     /// quantifies why the paper sticks to Bonsai Merkle Trees.
     SpCounterTree,
+    /// `triad_nvm`: relaxed tree-level persistence from the related
+    /// literature — each persist strictly updates the leaf plus the
+    /// [`SystemConfig::triad_persisted_levels`] deepest BMT levels and
+    /// leaves everything above (root included) to the metadata cache,
+    /// flushed lazily. Runtime sits between `unordered` and `sp`;
+    /// recovery only rebuilds the small un-persisted upper slice. A
+    /// crash inside the lazy-flush window strands the data/counter
+    /// pair without its MAC, so losses are always *detected* (never
+    /// silent), and only above the persisted level.
+    TriadNvm,
+    /// `phoenix`: a persistently secure counter tree with a dual-copy
+    /// (shadow) root commit, from the related literature. Every node
+    /// of the update path is written through to NVM and the root is
+    /// committed twice (working + shadow copy), so recovery rebuilds
+    /// nothing — the highest runtime in the zoo buys near-instant,
+    /// size-independent recovery.
+    Phoenix,
 }
 
 impl UpdateScheme {
@@ -54,8 +74,8 @@ impl UpdateScheme {
     }
 
     /// Table IV's schemes plus this repo's §V-D counter-tree
-    /// extension.
-    pub fn all_extended() -> [UpdateScheme; 7] {
+    /// extension and the related-literature zoo.
+    pub fn all_extended() -> [UpdateScheme; 9] {
         [
             UpdateScheme::SecureWb,
             UpdateScheme::Unordered,
@@ -64,7 +84,16 @@ impl UpdateScheme {
             UpdateScheme::O3,
             UpdateScheme::Coalescing,
             UpdateScheme::SpCounterTree,
+            UpdateScheme::TriadNvm,
+            UpdateScheme::Phoenix,
         ]
+    }
+
+    /// The related-literature schemes (ROADMAP item 2's zoo): designs
+    /// that trade runtime overhead against recovery latency, measured
+    /// on this harness because no single paper ever could.
+    pub fn zoo() -> [UpdateScheme; 2] {
+        [UpdateScheme::TriadNvm, UpdateScheme::Phoenix]
     }
 
     /// The strict-persistency comparison schemes (Fig. 8): every
@@ -97,13 +126,15 @@ impl UpdateScheme {
     }
 
     /// The crash-recovery-correct persisting schemes — the ones that
-    /// enforce Invariant 2 and must pass the fault sweeps.
-    pub fn correct() -> [UpdateScheme; 4] {
+    /// enforce Invariant 2 (or, for `phoenix`, persist the whole tree)
+    /// and must pass the fault sweeps with no loss at any crash point.
+    pub fn correct() -> [UpdateScheme; 5] {
         [
             UpdateScheme::Sp,
             UpdateScheme::Pipeline,
             UpdateScheme::O3,
             UpdateScheme::Coalescing,
+            UpdateScheme::Phoenix,
         ]
     }
 
@@ -117,6 +148,8 @@ impl UpdateScheme {
             UpdateScheme::O3 => "o3",
             UpdateScheme::Coalescing => "coalescing",
             UpdateScheme::SpCounterTree => "sp_ctree",
+            UpdateScheme::TriadNvm => "triad_nvm",
+            UpdateScheme::Phoenix => "phoenix",
         }
     }
 
@@ -141,6 +174,8 @@ impl UpdateScheme {
                 | UpdateScheme::Pipeline
                 | UpdateScheme::Unordered
                 | UpdateScheme::SpCounterTree
+                | UpdateScheme::TriadNvm
+                | UpdateScheme::Phoenix
         )
     }
 }
@@ -195,6 +230,12 @@ pub struct SystemConfig {
     /// BMT shape (default 8-ary, 9 levels — the paper's stated
     /// update-path length for 8 GB).
     pub bmt: BmtGeometry,
+    /// How many of the *deepest* tree levels (the leaf level included)
+    /// [`UpdateScheme::TriadNvm`] persists strictly; everything above
+    /// is relaxed into the metadata cache. Default 3. Must be at least
+    /// 1 and leave at least one relaxed level (`< bmt.levels()`).
+    /// Ignored by every other scheme.
+    pub triad_persisted_levels: u32,
     /// NVM device parameters (Table III).
     pub nvm: NvmConfig,
     /// Master key for the functional crypto.
@@ -224,6 +265,7 @@ impl Default for SystemConfig {
             metadata_cache_bytes: 128 << 10,
             cache_latencies: [Cycle::new(2), Cycle::new(20), Cycle::new(30)],
             bmt: BmtGeometry::new(8, 9),
+            triad_persisted_levels: 3,
             nvm: NvmConfig::paper_default(),
             key: SipKey::new(0x504c505f4b455930, 0x504c505f4b455931),
             record_persists: false,
@@ -262,8 +304,24 @@ impl SystemConfig {
         if self.ett_entries == 0 {
             return Err(ConfigError::EmptyTable { table: "ETT" });
         }
+        if self.scheme == UpdateScheme::TriadNvm
+            && (self.triad_persisted_levels == 0
+                || self.triad_persisted_levels >= self.bmt.levels())
+        {
+            return Err(ConfigError::TriadLevels {
+                persisted: self.triad_persisted_levels,
+                levels: self.bmt.levels(),
+            });
+        }
         self.nvm.validate()?;
         Ok(())
+    }
+
+    /// The shallowest BMT level `triad_nvm` persists strictly (level 1
+    /// is the root, `bmt.levels()` the leaves): levels `floor..=leaf`
+    /// are durable per persist, levels `1..floor` are relaxed.
+    pub fn triad_floor(&self) -> u32 {
+        self.bmt.levels().saturating_sub(self.triad_persisted_levels) + 1
     }
 }
 
@@ -303,7 +361,13 @@ mod tests {
         assert!(Sp.is_store_persisting() && Pipeline.is_store_persisting());
         assert!(Unordered.is_store_persisting());
         assert!(!SecureWb.is_store_persisting());
+        assert!(TriadNvm.is_store_persisting() && Phoenix.is_store_persisting());
+        assert!(!TriadNvm.is_epoch_based() && !Phoenix.is_epoch_based());
         assert_eq!(Coalescing.to_string(), "coalescing");
+        assert_eq!(TriadNvm.to_string(), "triad_nvm");
+        assert_eq!(Phoenix.to_string(), "phoenix");
+        assert_eq!(UpdateScheme::parse("triad_nvm"), Some(TriadNvm));
+        assert_eq!(UpdateScheme::parse("phoenix"), Some(Phoenix));
     }
 
     #[test]
@@ -320,15 +384,42 @@ mod tests {
             .chain(UpdateScheme::persisting())
             .collect();
         assert_eq!(all, UpdateScheme::all().to_vec());
+        // correct = (persisting minus the unordered strawman) plus the
+        // zoo's fully-persistent phoenix; triad_nvm stays out — its
+        // relaxed levels admit (detected) loss above the floor.
         let correct: Vec<_> = UpdateScheme::persisting()
             .into_iter()
             .filter(|s| *s != UpdateScheme::Unordered)
+            .chain(std::iter::once(UpdateScheme::Phoenix))
             .collect();
         assert_eq!(correct, UpdateScheme::correct().to_vec());
-        assert_eq!(
-            UpdateScheme::all_extended().last(),
-            Some(&UpdateScheme::SpCounterTree)
-        );
+        // all_extended = all ++ [sp_ctree] ++ zoo.
+        let extended: Vec<_> = UpdateScheme::all()
+            .into_iter()
+            .chain(std::iter::once(UpdateScheme::SpCounterTree))
+            .chain(UpdateScheme::zoo())
+            .collect();
+        assert_eq!(extended, UpdateScheme::all_extended().to_vec());
+        assert!(!UpdateScheme::correct().contains(&UpdateScheme::TriadNvm));
+    }
+
+    #[test]
+    fn triad_floor_splits_the_tree() {
+        let mut c = SystemConfig::for_scheme(UpdateScheme::TriadNvm);
+        assert!(c.validate().is_ok());
+        // Default 9-level tree, 3 persisted levels: floor at level 7,
+        // so levels 7..=9 are durable and 1..=6 relaxed.
+        assert_eq!(c.triad_floor(), 7);
+        c.triad_persisted_levels = 0;
+        assert!(matches!(c.validate(), Err(ConfigError::TriadLevels { .. })));
+        c.triad_persisted_levels = 9;
+        assert!(matches!(c.validate(), Err(ConfigError::TriadLevels { .. })));
+        // Other schemes ignore the knob entirely.
+        let c = SystemConfig {
+            triad_persisted_levels: 0,
+            ..SystemConfig::for_scheme(UpdateScheme::Sp)
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

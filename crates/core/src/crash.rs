@@ -72,6 +72,12 @@ pub const TAG_REC_QUARANTINE: u8 = 11;
 /// seal count. Its presence marks an image as canonical-recovered;
 /// it is always the final frame recovery writes before the rename.
 pub const TAG_ROOT_COMMIT: u8 = 12;
+/// Frame tag: `triad_nvm`'s strict slice — the data and counter
+/// components persisted atomically, with the MAC and root trailing in
+/// their own frames after the relaxed-level flush window. A kill in
+/// that window leaves this frame durable and the id *partial*: fresh
+/// data under a stale MAC, the scheme's detected-loss signature.
+pub const TAG_TRIAD: u8 = 13;
 
 const COUNTERS_BYTES: usize = 8 + BLOCKS_PER_PAGE;
 
@@ -148,6 +154,33 @@ impl TupleFrame<'_> {
     }
 }
 
+/// `triad_nvm`'s atomic strict slice, borrowed for appending: the
+/// data/counter pair without the trailing MAC and root.
+pub(crate) struct TriadFrame<'a> {
+    /// Persist id (the store sequence number).
+    pub id: u64,
+    /// The persisted block.
+    pub addr: BlockAddr,
+    /// Its encryption page.
+    pub page: u64,
+    /// Ciphertext component.
+    pub cipher: &'a DataBlock,
+    /// Counter-block component (post-bump).
+    pub counters: &'a CounterBlock,
+}
+
+impl TriadFrame<'_> {
+    fn payload(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(24 + 64 + COUNTERS_BYTES);
+        p.extend_from_slice(&self.id.to_le_bytes());
+        p.extend_from_slice(&self.addr.index().to_le_bytes());
+        p.extend_from_slice(&self.page.to_le_bytes());
+        p.extend_from_slice(self.cipher.as_bytes());
+        p.extend_from_slice(&self.counters.to_bytes());
+        p
+    }
+}
+
 /// Write-through mirror of the persist stream into a device image.
 ///
 /// I/O errors never panic and never disturb the simulation: the first
@@ -213,6 +246,26 @@ impl DurableSink {
         // never enough to checksum.
         let keep = (13 + p.len()) / 2;
         if let Err(e) = self.writer.append_torn(TAG_TUPLE, &p, keep) {
+            self.error = Some(e);
+        }
+    }
+
+    /// Appends `triad_nvm`'s strict data/counter slice atomically.
+    pub(crate) fn triad(&mut self, frame: &TriadFrame<'_>) {
+        self.push(TAG_TRIAD, &frame.payload());
+    }
+
+    /// Appends a deliberately torn prefix of a triad frame — the write
+    /// the armed `mid-tuple` kill lands on. Readers discard it, so an
+    /// interrupted strict slice leaves no partial state (only the
+    /// *relaxed* window can strand components).
+    pub(crate) fn triad_torn(&mut self, frame: &TriadFrame<'_>) {
+        if self.error.is_some() {
+            return;
+        }
+        let p = frame.payload();
+        let keep = (13 + p.len()) / 2;
+        if let Err(e) = self.writer.append_torn(TAG_TRIAD, &p, keep) {
             self.error = Some(e);
         }
     }
@@ -362,6 +415,17 @@ pub fn replay_image(path: &Path, key: SipKey) -> Result<ReplayedImage, ReplayErr
                 image.data.insert(addr, le_cipher(p, 40));
                 image.counters.insert(page, le_counters(p, 104)?);
                 complete_ids.insert(id);
+            }
+            TAG_TRIAD => {
+                if p.len() != 24 + 64 + COUNTERS_BYTES {
+                    return Err(bad());
+                }
+                let id = le_u64(p, 0);
+                let addr = BlockAddr::new(le_u64(p, 8));
+                let page = le_u64(p, 16);
+                image.data.insert(addr, le_cipher(p, 24));
+                image.counters.insert(page, le_counters(p, 88)?);
+                *components.entry(id).or_insert(0) |= 3;
             }
             TAG_DATA => {
                 if p.len() != 16 + 64 {
@@ -702,6 +766,96 @@ mod tests {
     #[test]
     fn coalescing_roundtrip_equals_in_memory() {
         roundtrip_equals_in_memory(UpdateScheme::Coalescing, "coalescing");
+    }
+
+    #[test]
+    fn triad_roundtrip_equals_in_memory() {
+        roundtrip_equals_in_memory(UpdateScheme::TriadNvm, "triad");
+    }
+
+    #[test]
+    fn phoenix_roundtrip_equals_in_memory() {
+        roundtrip_equals_in_memory(UpdateScheme::Phoenix, "phoenix");
+    }
+
+    /// A kill inside `triad_nvm`'s relaxed flush window leaves the
+    /// strict data/counter slice durable and the id *partial*: fresh
+    /// data with no MAC — the detected-loss signature recovery must
+    /// flag, never silently accept.
+    #[test]
+    fn triad_frames_split_the_tuple_at_the_relaxed_window() {
+        let path = temp_image("triad-window");
+        let config = SystemConfig::for_scheme(UpdateScheme::TriadNvm);
+        let mut sink = DurableSink::create(&path, &config, 7).unwrap();
+        let cipher = DataBlock::from_u64(42);
+        let mut counters = CounterBlock::default();
+        counters.bump(0);
+        // Persist 1 completes: the slice, then MAC and root after the
+        // relaxed window.
+        sink.triad(&TriadFrame {
+            id: 1,
+            addr: BlockAddr::new(8),
+            page: 1,
+            cipher: &cipher,
+            counters: &counters,
+        });
+        sink.mac_tag(1, BlockAddr::new(8), MacTag::from_raw(0xAB));
+        sink.root(1, 0xCD);
+        // Persist 2 is killed inside the relaxed window: slice only.
+        sink.triad(&TriadFrame {
+            id: 2,
+            addr: BlockAddr::new(9),
+            page: 1,
+            cipher: &cipher,
+            counters: &counters,
+        });
+        assert_eq!(sink.error(), None);
+        drop(sink);
+
+        let replayed = replay_image(&path, config.key).unwrap();
+        assert_eq!(replayed.complete_ids, BTreeSet::from([1]));
+        assert_eq!(replayed.partial_ids, BTreeSet::from([2]));
+        // The stranded pair is durable — data and counters on disk —
+        // but its MAC never arrived.
+        assert!(replayed.image.data.contains_key(&BlockAddr::new(9)));
+        assert!(!replayed.image.macs.contains_key(&BlockAddr::new(9)));
+        assert_eq!(replayed.image.root, 0xCD);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A torn triad frame (the armed mid-tuple kill inside the strict
+    /// slice) is discarded whole: an interrupted slice leaves no
+    /// partial state, exactly like a torn 2SP tuple.
+    #[test]
+    fn torn_triad_frame_is_discarded() {
+        let path = temp_image("triad-torn");
+        let config = SystemConfig::for_scheme(UpdateScheme::TriadNvm);
+        let mut sink = DurableSink::create(&path, &config, 7).unwrap();
+        let cipher = DataBlock::from_u64(7);
+        let counters = CounterBlock::default();
+        sink.triad(&TriadFrame {
+            id: 1,
+            addr: BlockAddr::new(1),
+            page: 0,
+            cipher: &cipher,
+            counters: &counters,
+        });
+        sink.triad_torn(&TriadFrame {
+            id: 2,
+            addr: BlockAddr::new(2),
+            page: 0,
+            cipher: &cipher,
+            counters: &counters,
+        });
+        drop(sink);
+        let replayed = replay_image(&path, config.key).unwrap();
+        assert!(replayed.torn_tail_bytes > 0);
+        // Id 1's slice survives (partial: its MAC/root never landed);
+        // the torn id 2 vanishes entirely.
+        assert_eq!(replayed.partial_ids, BTreeSet::from([1]));
+        assert!(replayed.complete_ids.is_empty());
+        assert!(!replayed.image.data.contains_key(&BlockAddr::new(2)));
+        std::fs::remove_file(&path).unwrap();
     }
 
     /// A torn tuple frame (the armed mid-tuple kill) cuts the image at

@@ -15,21 +15,27 @@
 //! | [`OooEngine`] | `o3` | ETT: free within an epoch, levels pipelined across epochs |
 //! | [`CoalescingEngine`] | `coalescing` | `o3` plus LCA handoff chains |
 //! | [`CounterTreeEngine`] | `sp_ctree` | sequential, whole path persists (§V-D extension) |
+//! | [`TriadNvmEngine`] | `triad_nvm` | strict over the deepest N levels, relaxed above |
+//! | [`PhoenixEngine`] | `phoenix` | whole path persists plus a dual-copy root commit |
 
 mod coalesce;
 mod ctree;
 mod mutant;
 mod ooo;
+mod phoenix;
 mod pipeline;
 mod sequential;
+mod triad;
 mod unordered;
 
 pub use coalesce::CoalescingEngine;
 pub use ctree::CounterTreeEngine;
 pub use mutant::{Mutation, MutantEngine};
 pub use ooo::OooEngine;
+pub use phoenix::PhoenixEngine;
 pub use pipeline::PipelinedEngine;
 pub use sequential::SequentialEngine;
+pub use triad::TriadNvmEngine;
 pub use unordered::UnorderedEngine;
 
 use plp_bmt::{BmtGeometry, NodeLabel};
@@ -237,6 +243,26 @@ impl UpdateEngine for CounterTreeEngine {
     }
 }
 
+impl UpdateEngine for TriadNvmEngine {
+    fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
+        TriadNvmEngine::persist(self, req, ctx)
+    }
+
+    fn drained_at(&self) -> Cycle {
+        TriadNvmEngine::drained_at(self)
+    }
+}
+
+impl UpdateEngine for PhoenixEngine {
+    fn persist(&mut self, req: UpdateRequest, ctx: &mut EngineCtx<'_>) -> Cycle {
+        PhoenixEngine::persist(self, req, ctx)
+    }
+
+    fn drained_at(&self) -> Cycle {
+        PhoenixEngine::drained_at(self)
+    }
+}
+
 /// Builds the engine for `config`'s scheme. The `secure_WB` baseline
 /// routes its eviction write-backs through a sequential engine (§VII:
 /// evicted dirty blocks update the BMT sequentially).
@@ -258,6 +284,8 @@ pub fn for_config(config: &SystemConfig) -> Box<dyn UpdateEngine> {
             Box::new(CoalescingEngine::new(mac, levels, config.ett_entries))
         }
         UpdateScheme::SpCounterTree => Box::new(CounterTreeEngine::new(mac)),
+        UpdateScheme::TriadNvm => Box::new(TriadNvmEngine::new(mac, config.triad_floor())),
+        UpdateScheme::Phoenix => Box::new(PhoenixEngine::new(mac)),
     }
 }
 

@@ -5,18 +5,21 @@ use plp_events::Cycle;
 
 use super::{EngineCtx, UpdateRequest};
 
-/// Unordered BMT updates, "similar to [Triad-NVM]" (Table IV): every
-/// persist walks leaf-to-root with no cross-persist ordering at all —
-/// not even at the root. MAC computations are fully pipelined; with a
+/// Unordered BMT updates (Table IV's strawman): every persist walks
+/// leaf-to-root with no cross-persist ordering at all — not even at
+/// the root. MAC computations are fully pipelined; with a
 /// one-per-cycle initiation interval the unit's throughput never binds
 /// at realistic persist rates, so updates are modelled as pure latency.
 ///
-/// This is what prior work effectively measured. It is fast, but it
-/// violates Invariant 2: two persists' root updates can complete out
-/// of persist order, so a crash between them can leave a BMT that
-/// fails verification on recovery. The recovery tests demonstrate
-/// exactly that failure; this engine exists to quantify how much prior
-/// work under-estimated the cost of correctness.
+/// It is fast, but it violates Invariant 2: two persists' root updates
+/// can complete out of persist order, so a crash between them can
+/// leave a BMT that fails verification on recovery. The recovery tests
+/// demonstrate exactly that failure; this engine exists to quantify
+/// how much an ordering-free design under-estimates the cost of
+/// correctness. (The relaxed-tree design from the related literature,
+/// which Table IV's prose loosely gestures at, is modelled faithfully
+/// by [`crate::engine::TriadNvmEngine`] instead: it persists a strict
+/// lower slice of the tree rather than abandoning ordering wholesale.)
 #[derive(Debug, Clone)]
 pub struct UnorderedEngine {
     mac_latency: Cycle,

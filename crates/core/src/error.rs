@@ -24,6 +24,14 @@ pub enum ConfigError {
         /// The rejected IPC.
         base_ipc: f64,
     },
+    /// `triad_nvm` must strictly persist at least one level and leave
+    /// at least one level relaxed.
+    TriadLevels {
+        /// The rejected persisted-level count.
+        persisted: u32,
+        /// The tree's total level count.
+        levels: u32,
+    },
     /// The NVM device configuration is invalid.
     Nvm(NvmError),
 }
@@ -37,6 +45,13 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::NonPositiveBaseIpc { base_ipc } => {
                 write!(f, "base IPC must be positive and finite, got {base_ipc}")
+            }
+            ConfigError::TriadLevels { persisted, levels } => {
+                write!(
+                    f,
+                    "triad_nvm must persist between 1 and {} levels (tree has {levels}), got {persisted}",
+                    levels.saturating_sub(1)
+                )
             }
             ConfigError::Nvm(e) => write!(f, "NVM: {e}"),
         }

@@ -28,7 +28,7 @@ use plp_events::Cycle;
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    ObserverExpectation, PersistImage, PersistRecord, RecoveryCost, SystemConfig,
+    ObserverExpectation, PersistImage, PersistRecord, RecoveryCost, SystemConfig, UpdateScheme,
 };
 
 use super::{BlockFate, FaultVerdict};
@@ -101,8 +101,10 @@ pub struct RecoveryOutcome {
     /// Per expected block, what recovery did with it (sorted by
     /// address).
     pub fates: Vec<(BlockAddr, BlockFate)>,
-    /// Modeled recovery latency in cycles: counter fetch + tree
-    /// rebuild + prefix search + MAC re-verification, pipelined.
+    /// Modeled recovery latency in cycles: counter fetch + the
+    /// strategy's tree rebuild (which under [`RebuildStrategy::Full`]
+    /// includes the root-prefix search) + MAC re-verification,
+    /// pipelined.
     pub recovery_cycles: u64,
 }
 
@@ -153,6 +155,59 @@ impl std::fmt::Display for RecoveryOutcome {
     }
 }
 
+/// How much of the BMT recovery must rebuild before service resumes —
+/// the *recovery-time* axis of the runtime-vs-recovery Pareto
+/// frontier. The functional repair (root triage + per-block MAC
+/// arbitration) is identical under every strategy; what varies is the
+/// modeled rebuild work, which is exactly what each scheme's extra
+/// runtime persistence buys down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RebuildStrategy {
+    /// Rebuild every populated node from the persisted counters — the
+    /// paper's volatile-tree schemes, where only the root register and
+    /// the counters survive a crash.
+    Full,
+    /// `triad_nvm`: levels `floor..=levels` were strictly persisted,
+    /// so recovery rebuilds only the relaxed slice above the floor.
+    Suffix {
+        /// Shallowest strictly-persisted level (1 = root).
+        floor: u32,
+    },
+    /// `phoenix`: every node and a dual-copy root are durable;
+    /// recovery just cross-checks the two root copies — constant tree
+    /// work regardless of protected-memory size.
+    Shadow,
+}
+
+impl RebuildStrategy {
+    /// The strategy `config`'s scheme earns through its runtime
+    /// persistence.
+    pub fn for_config(config: &SystemConfig) -> Self {
+        match config.scheme {
+            UpdateScheme::TriadNvm => RebuildStrategy::Suffix {
+                floor: config.triad_floor(),
+            },
+            UpdateScheme::Phoenix => RebuildStrategy::Shadow,
+            UpdateScheme::SecureWb
+            | UpdateScheme::Unordered
+            | UpdateScheme::Sp
+            | UpdateScheme::Pipeline
+            | UpdateScheme::O3
+            | UpdateScheme::Coalescing
+            | UpdateScheme::SpCounterTree => RebuildStrategy::Full,
+        }
+    }
+
+    /// Stable machine name (bench table rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            RebuildStrategy::Full => "full",
+            RebuildStrategy::Suffix { .. } => "suffix",
+            RebuildStrategy::Shadow => "shadow",
+        }
+    }
+}
+
 /// The repairing recovery engine.
 #[derive(Debug, Clone)]
 pub struct RecoveryManager {
@@ -161,11 +216,14 @@ pub struct RecoveryManager {
     ctr: CtrEngine,
     mac: MacEngine,
     mac_latency: u64,
+    strategy: RebuildStrategy,
 }
 
 impl RecoveryManager {
     /// Creates a manager for the given tree shape, master key and
     /// MAC-unit latency (the latency only feeds the cycle model).
+    /// Assumes the [`RebuildStrategy::Full`] volatile-tree rebuild;
+    /// see [`RecoveryManager::with_strategy`].
     pub fn new(geometry: BmtGeometry, key: SipKey, mac_latency: Cycle) -> Self {
         RecoveryManager {
             geometry,
@@ -173,12 +231,26 @@ impl RecoveryManager {
             ctr: CtrEngine::new(key),
             mac: MacEngine::new(key),
             mac_latency: mac_latency.get(),
+            strategy: RebuildStrategy::Full,
         }
     }
 
-    /// A manager matching a system configuration.
+    /// Replaces the rebuild strategy (the recovery-time axis).
+    pub fn with_strategy(mut self, strategy: RebuildStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The rebuild strategy in force.
+    pub fn strategy(&self) -> RebuildStrategy {
+        self.strategy
+    }
+
+    /// A manager matching a system configuration, including the
+    /// rebuild strategy its scheme earns.
     pub fn for_config(config: &SystemConfig) -> Self {
         RecoveryManager::new(config.bmt, config.key, config.mac_latency)
+            .with_strategy(RebuildStrategy::for_config(config))
     }
 
     /// Attempts repair of a crash image.
@@ -261,12 +333,28 @@ impl RecoveryManager {
             fates.push((addr, fate));
         }
 
-        // Cycle model: the checker's cost plus one tree-path recompute
-        // per prefix-search step.
+        // Cycle model: the strategy-dependent rebuild, plus — under
+        // the volatile-tree strategy only — one tree-path recompute
+        // per prefix-search step to authenticate a lagged root
+        // register against the run history. The schemes that persist
+        // tree state never consult the history for that: the suffix
+        // strategy recomputes the root from its durable lower levels
+        // and the shadow strategy cross-checks the dual copy, so their
+        // root-lag window costs nothing beyond the rebuild term. The
+        // counter fetches and per-block MAC arbitration are common to
+        // every strategy. (The *functional* triage above still runs
+        // the search for verdict classification in every case.)
+        let rebuild_hashes = match self.strategy {
+            RebuildStrategy::Full => {
+                rebuilt.populated_nodes() as u64 + prefix_updates * self.geometry.levels() as u64
+            }
+            RebuildStrategy::Suffix { floor } => rebuilt.populated_nodes_above(floor) as u64,
+            // One hash to cross-check the two root copies.
+            RebuildStrategy::Shadow => 1,
+        };
         let cost = RecoveryCost {
             counter_blocks: image.counters.len() as u64,
-            hash_computations: rebuilt.populated_nodes() as u64
-                + prefix_updates * self.geometry.levels() as u64,
+            hash_computations: rebuild_hashes,
             mac_verifications: expected.plaintexts.len() as u64,
         };
         RecoveryOutcome {
@@ -371,6 +459,60 @@ mod tests {
         let image = PersistImage::at_time(records, t, geometry(), key());
         let expected = ObserverExpectation::at_time(records, t);
         manager().recover(&image, records, &expected)
+    }
+
+    #[test]
+    fn rebuild_strategies_order_the_recovery_cost() {
+        let records = make_records(12);
+        let t = Cycle::new(1_000_000);
+        let image = PersistImage::at_time(&records, t, geometry(), key());
+        let expected = ObserverExpectation::at_time(&records, t);
+        let full = manager().recover(&image, &records, &expected);
+        let suffix = manager()
+            .with_strategy(RebuildStrategy::Suffix { floor: 3 })
+            .recover(&image, &records, &expected);
+        let shadow = manager()
+            .with_strategy(RebuildStrategy::Shadow)
+            .recover(&image, &records, &expected);
+        // Identical functional repair...
+        for o in [&suffix, &shadow] {
+            assert_eq!(o.verdict(), FaultVerdict::Clean);
+            assert_eq!(o.adopted_root, full.adopted_root);
+            assert_eq!(o.fates, full.fates);
+        }
+        // ...but strictly ordered rebuild work: the more the scheme
+        // persisted at runtime, the less recovery recomputes.
+        assert!(
+            full.recovery_cycles > suffix.recovery_cycles,
+            "full {} vs suffix {}",
+            full.recovery_cycles,
+            suffix.recovery_cycles
+        );
+        assert!(
+            suffix.recovery_cycles > shadow.recovery_cycles,
+            "suffix {} vs shadow {}",
+            suffix.recovery_cycles,
+            shadow.recovery_cycles
+        );
+    }
+
+    #[test]
+    fn strategy_follows_the_scheme() {
+        let full = SystemConfig::for_scheme(UpdateScheme::Sp);
+        assert_eq!(RebuildStrategy::for_config(&full), RebuildStrategy::Full);
+        let triad = SystemConfig::for_scheme(UpdateScheme::TriadNvm);
+        assert_eq!(
+            RebuildStrategy::for_config(&triad),
+            RebuildStrategy::Suffix {
+                floor: triad.triad_floor()
+            }
+        );
+        let phoenix = SystemConfig::for_scheme(UpdateScheme::Phoenix);
+        assert_eq!(RebuildStrategy::for_config(&phoenix), RebuildStrategy::Shadow);
+        assert_eq!(
+            RecoveryManager::for_config(&phoenix).strategy(),
+            RebuildStrategy::Shadow
+        );
     }
 
     #[test]

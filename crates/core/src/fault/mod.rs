@@ -41,7 +41,7 @@ use serde::{Deserialize, Serialize};
 use crate::{PersistId, TupleComponent};
 
 pub use inject::FaultInjector;
-pub use manager::{RecoveryError, RecoveryManager, RecoveryOutcome, RootStatus};
+pub use manager::{RebuildStrategy, RecoveryError, RecoveryManager, RecoveryOutcome, RootStatus};
 pub use sweep::{enumerate_crash_points, ClassTally, FaultOutcome, FaultSweep, SchemeRobustness};
 
 /// One splitmix64 step — the deterministic randomness source of the

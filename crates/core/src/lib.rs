@@ -65,7 +65,8 @@ pub use error::ConfigError;
 pub use failpoint::{Failpoint, FailpointPlan, FailpointRegistry, FiredFailpoint};
 pub use fault::{
     BlockFate, FaultClass, FaultConfig, FaultInjector, FaultOutcome, FaultSpec, FaultSweep,
-    FaultVerdict, RecoveryError, RecoveryManager, RecoveryOutcome, RootStatus, SchemeRobustness,
+    FaultVerdict, RebuildStrategy, RecoveryError, RecoveryManager, RecoveryOutcome, RootStatus,
+    SchemeRobustness,
 };
 pub use recovery::{
     with_component_lost, with_component_reordered, ObserverExpectation, PersistImage,

@@ -37,6 +37,16 @@ pub fn bmt_node_block_addr(label: NodeLabel) -> BlockAddr {
     BlockAddr::new(BMT_REGION_BASE + label.raw() / 8)
 }
 
+/// Base block index of the `phoenix` shadow-root region: the dual-copy
+/// root commit writes here, a distinct device block from the working
+/// root's BMT node block so the two copies never write-combine.
+pub const SHADOW_ROOT_REGION_BASE: u64 = 1 << 43;
+
+/// The memory block holding the `phoenix` shadow copy of the root.
+pub fn shadow_root_block_addr() -> BlockAddr {
+    BlockAddr::new(SHADOW_ROOT_REGION_BASE)
+}
+
 /// Hit/miss statistics for the three metadata caches.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MetadataStats {

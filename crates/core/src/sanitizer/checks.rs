@@ -38,6 +38,9 @@ pub struct Sanitizer {
     last_tuple_completion: Cycle,
     /// Reusable per-walk level-coverage counter.
     walk_seen: Vec<u8>,
+    /// Truncated contract: the persisted floor observed on the first
+    /// walk — every later walk must persist exactly the same suffix.
+    observed_floor: Option<u32>,
     // --- epoch-contract state ---
     /// Per-level max completion over all *sealed* epochs (the ETT
     /// authorization levels the sanitizer re-derives independently).
@@ -69,6 +72,7 @@ impl Sanitizer {
             level_last: vec![Cycle::ZERO; n],
             last_tuple_completion: Cycle::ZERO,
             walk_seen: vec![0; n],
+            observed_floor: None,
             sealed_level_last: vec![Cycle::ZERO; n],
             cur_level_max: vec![Cycle::ZERO; n],
             cur_epoch_max_done: Cycle::ZERO,
@@ -86,7 +90,7 @@ impl Sanitizer {
     /// Whether the engine tap should record node updates at all (false
     /// for the contract-free `unordered` strawman).
     pub fn wants_node_events(&self) -> bool {
-        self.contract.strict_walk || self.contract.epoch_order
+        self.contract.strict_walk || self.contract.epoch_order || self.contract.truncated_walk
     }
 
     fn report(&mut self, v: Violation) {
@@ -128,6 +132,9 @@ impl Sanitizer {
         if self.contract.strict_walk {
             self.summary.checked_node_updates += events.len() as u64;
             self.strict_walk_checks(persist, epoch, events);
+        } else if self.contract.truncated_walk {
+            self.summary.checked_node_updates += events.len() as u64;
+            self.truncated_walk_checks(persist, epoch, events);
         } else if self.contract.epoch_order {
             self.summary.checked_node_updates += events.len() as u64;
             for ev in events {
@@ -191,6 +198,100 @@ impl Sanitizer {
         }
         // Cross-persist per-level order: a level's completions never
         // regress between persists.
+        for ev in events {
+            let Some(i) = level_index(ev.level, self.levels) else {
+                continue;
+            };
+            if ev.done < self.level_last[i] {
+                self.node_violation(ViolationKind::LevelOrder, epoch, persist.0, ev);
+            }
+            self.level_last[i] = self.level_last[i].max(ev.done);
+        }
+    }
+
+    /// The truncated (`triad_nvm`) form of the walk checks: each walk
+    /// must cover a contiguous suffix of levels ending at the leaf,
+    /// exactly once per covered level ([`ViolationKind::SkippedLevel`]
+    /// on gaps, duplicates or a floor that moves between persists), and
+    /// both the within-walk deepest-first monotonicity and the
+    /// cross-persist per-level order of the strict contract hold over
+    /// the covered slice ([`ViolationKind::LevelOrder`]).
+    fn truncated_walk_checks(
+        &mut self,
+        persist: PersistId,
+        epoch: EpochId,
+        events: &[NodeUpdateEvent],
+    ) {
+        // Shape: a contiguous suffix floor..=levels, each level once.
+        self.walk_seen.fill(0);
+        let mut shape_ok = true;
+        let mut floor = self.levels + 1; // empty walk sentinel
+        for ev in events {
+            match level_index(ev.level, self.levels).and_then(|i| self.walk_seen.get_mut(i)) {
+                Some(count) => {
+                    *count = count.saturating_add(1);
+                    floor = floor.min(ev.level);
+                }
+                None => {
+                    shape_ok = false;
+                    self.node_violation(ViolationKind::SkippedLevel, epoch, persist.0, ev);
+                }
+            }
+        }
+        let walk_max = events.iter().map(|e| e.done).max().unwrap_or(Cycle::ZERO);
+        let shape_violation = |this: &mut Self, level: u32| {
+            let v = Violation {
+                kind: ViolationKind::SkippedLevel,
+                scheme: this.scheme,
+                cycle: walk_max,
+                epoch,
+                persist: persist.0,
+                level,
+                node: NO_FIELD,
+                addr: NO_FIELD,
+            };
+            this.report(v);
+        };
+        // The leaf level anchors the suffix: a walk that never touches
+        // the leaf (or touches nothing) skipped the one level no
+        // relaxation may drop.
+        if floor > self.levels || self.walk_seen[self.levels as usize - 1] == 0 {
+            shape_violation(self, self.levels);
+            return;
+        }
+        for level in floor..=self.levels {
+            let Some(i) = level_index(level, self.levels) else {
+                continue;
+            };
+            if self.walk_seen[i] != 1 {
+                shape_ok = false;
+                shape_violation(self, level);
+            }
+        }
+        // The floor is a configuration constant, not a per-persist
+        // choice: a walk persisting a different suffix than the first
+        // walk's breaks the contract even if internally well-formed.
+        match self.observed_floor {
+            None => self.observed_floor = Some(floor),
+            Some(expected) if expected != floor => {
+                shape_ok = false;
+                shape_violation(self, floor);
+            }
+            Some(_) => {}
+        }
+        // Deepest-first monotone completion over the covered slice.
+        if shape_ok {
+            let mut prev_done = Cycle::ZERO;
+            for level in (floor..=self.levels).rev() {
+                if let Some(ev) = events.iter().find(|e| e.level == level) {
+                    if ev.done < prev_done {
+                        self.node_violation(ViolationKind::LevelOrder, epoch, persist.0, ev);
+                    }
+                    prev_done = prev_done.max(ev.done);
+                }
+            }
+        }
+        // Cross-persist per-level order over the covered slice.
         for ev in events {
             let Some(i) = level_index(ev.level, self.levels) else {
                 continue;
@@ -516,6 +617,93 @@ mod tests {
         s.observe_seal(EpochId(0), Cycle::new(300));
         let sum = s.finish();
         assert_eq!(sum.count_of(ViolationKind::TupleIncomplete), 1);
+    }
+
+    /// A well-formed truncated walk: the suffix `floor..=levels`,
+    /// deepest first, completing monotonically.
+    fn truncated(g: BmtGeometry, page: u64, floor: u32, start: u64, step: u64) -> Vec<NodeUpdateEvent> {
+        walk(g, page, start, step)
+            .into_iter()
+            .filter(|ev| ev.level >= floor)
+            .collect()
+    }
+
+    #[test]
+    fn clean_truncated_run_has_no_violations() {
+        let g = geom();
+        let mut s = Sanitizer::new(UpdateScheme::TriadNvm, g);
+        assert!(s.wants_node_events());
+        for i in 0..5 {
+            let events = truncated(g, i, 3, i * 80, 40);
+            assert_eq!(events.len(), 2, "suffix covers levels 3..=4");
+            s.observe_walk(PersistId(i), EpochId(0), &events);
+        }
+        let sum = s.finish();
+        assert!(sum.is_clean(), "{:?}", sum.violations);
+        assert_eq!(sum.checked_node_updates, 10);
+        // The non-atomic tuple is *not* checked: the lazy MAC/root lag
+        // is the scheme's design, not a violation.
+        assert_eq!(sum.checked_persists, 0);
+    }
+
+    #[test]
+    fn truncated_walk_missing_the_leaf_is_flagged() {
+        let g = geom();
+        let mut s = Sanitizer::new(UpdateScheme::TriadNvm, g);
+        // Levels 2..=3 only: a "suffix" that dropped the leaf.
+        let events: Vec<_> = walk(g, 0, 0, 40)
+            .into_iter()
+            .filter(|ev| ev.level == 2 || ev.level == 3)
+            .collect();
+        s.observe_walk(PersistId(1), EpochId(0), &events);
+        let sum = s.finish();
+        assert_eq!(sum.count_of(ViolationKind::SkippedLevel), 1);
+        assert_eq!(sum.violations[0].level, 4);
+    }
+
+    #[test]
+    fn truncated_walk_with_a_gap_is_flagged() {
+        let g = geom();
+        let mut s = Sanitizer::new(UpdateScheme::TriadNvm, g);
+        // Levels {2, 4}: touches the leaf but skips level 3 inside the
+        // claimed suffix.
+        let events: Vec<_> = walk(g, 0, 0, 40)
+            .into_iter()
+            .filter(|ev| ev.level == 2 || ev.level == 4)
+            .collect();
+        s.observe_walk(PersistId(1), EpochId(0), &events);
+        let sum = s.finish();
+        assert_eq!(sum.count_of(ViolationKind::SkippedLevel), 1);
+        assert_eq!(sum.violations[0].level, 3);
+    }
+
+    #[test]
+    fn truncated_floor_must_not_move_between_persists() {
+        let g = geom();
+        let mut s = Sanitizer::new(UpdateScheme::TriadNvm, g);
+        s.observe_walk(PersistId(1), EpochId(0), &truncated(g, 0, 3, 0, 40));
+        // The next persist suddenly persists three levels instead of
+        // two — internally well-formed, but the floor moved.
+        s.observe_walk(PersistId(2), EpochId(0), &truncated(g, 1, 2, 200, 40));
+        let sum = s.finish();
+        assert_eq!(sum.count_of(ViolationKind::SkippedLevel), 1);
+        assert_eq!(sum.violations[0].level, 2);
+    }
+
+    #[test]
+    fn truncated_slice_keeps_strict_order_checks() {
+        let g = geom();
+        let mut s = Sanitizer::new(UpdateScheme::TriadNvm, g);
+        // Within-walk: shallower level completes before the deeper one.
+        let mut events = truncated(g, 0, 3, 0, 40);
+        events[0].done = Cycle::new(200); // leaf late
+        events[1].done = Cycle::new(100); // level 3 early
+        s.observe_walk(PersistId(1), EpochId(0), &events);
+        assert_eq!(s.summary.count_of(ViolationKind::LevelOrder), 1);
+        // Cross-persist: a later persist's slice regresses level 4.
+        s.observe_walk(PersistId(2), EpochId(0), &truncated(g, 1, 3, 0, 40));
+        let sum = s.finish();
+        assert!(sum.count_of(ViolationKind::LevelOrder) >= 2, "{:?}", sum.violations);
     }
 
     #[test]

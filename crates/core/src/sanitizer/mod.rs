@@ -105,6 +105,14 @@ pub struct SchemeContract {
     /// Invariant 2, epoch form: per-level cross-epoch handoff, ordered
     /// epoch completions and cross-epoch WAW safety.
     pub epoch_order: bool,
+    /// Invariant 2, truncated form (`triad_nvm`): each persist's walk
+    /// covers a *contiguous suffix* of levels ending at the leaf level
+    /// — exactly once per covered level, deepest first, monotone — and
+    /// the suffix's shallowest level (the persisted floor) is the same
+    /// for every persist of the run. Levels above the floor are
+    /// legitimately absent; the strict per-level cross-persist order
+    /// still holds over the covered slice.
+    pub truncated_walk: bool,
 }
 
 impl SchemeContract {
@@ -114,28 +122,44 @@ impl SchemeContract {
             UpdateScheme::SecureWb
             | UpdateScheme::Sp
             | UpdateScheme::Pipeline
-            | UpdateScheme::SpCounterTree => SchemeContract {
+            | UpdateScheme::SpCounterTree
+            // The dual-copy commit adds durability on top of a fully
+            // strict serialized walk, so `phoenix` is held to the same
+            // contract as the `sp` family.
+            | UpdateScheme::Phoenix => SchemeContract {
                 atomic_tuple: true,
                 strict_walk: true,
                 epoch_order: false,
+                truncated_walk: false,
             },
             UpdateScheme::O3 | UpdateScheme::Coalescing => SchemeContract {
                 atomic_tuple: true,
                 strict_walk: false,
                 epoch_order: true,
+                truncated_walk: false,
+            },
+            // Relaxed upper levels: the tuple is *not* atomic (the MAC
+            // and root trail the data/counter pair through the lazy
+            // window), but the strict slice must still walk in order.
+            UpdateScheme::TriadNvm => SchemeContract {
+                atomic_tuple: false,
+                strict_walk: false,
+                epoch_order: false,
+                truncated_walk: true,
             },
             // The strawman promises nothing: no checks, no guarantees.
             UpdateScheme::Unordered => SchemeContract {
                 atomic_tuple: false,
                 strict_walk: false,
                 epoch_order: false,
+                truncated_walk: false,
             },
         }
     }
 
     /// Whether any check is active.
     pub fn checks_anything(&self) -> bool {
-        self.atomic_tuple || self.strict_walk || self.epoch_order
+        self.atomic_tuple || self.strict_walk || self.epoch_order || self.truncated_walk
     }
 }
 
@@ -356,8 +380,15 @@ mod tests {
     fn contracts_partition_schemes() {
         for scheme in UpdateScheme::all_extended() {
             let c = SchemeContract::for_scheme(scheme);
-            // Strict and epoch contracts are mutually exclusive.
-            assert!(!(c.strict_walk && c.epoch_order), "{scheme}");
+            // The walk contracts are mutually exclusive.
+            assert!(
+                [c.strict_walk, c.epoch_order, c.truncated_walk]
+                    .into_iter()
+                    .filter(|&b| b)
+                    .count()
+                    <= 1,
+                "{scheme}"
+            );
             if scheme == UpdateScheme::Unordered {
                 assert!(!c.checks_anything());
             } else {
@@ -366,6 +397,13 @@ mod tests {
         }
         assert!(SchemeContract::for_scheme(UpdateScheme::O3).epoch_order);
         assert!(SchemeContract::for_scheme(UpdateScheme::Pipeline).strict_walk);
+        // The zoo: phoenix is strict like sp; triad_nvm claims only the
+        // truncated walk (its tuple is deliberately non-atomic).
+        let phoenix = SchemeContract::for_scheme(UpdateScheme::Phoenix);
+        assert!(phoenix.strict_walk && phoenix.atomic_tuple);
+        let triad = SchemeContract::for_scheme(UpdateScheme::TriadNvm);
+        assert!(triad.truncated_walk);
+        assert!(!triad.atomic_tuple && !triad.strict_walk && !triad.epoch_order);
     }
 
     #[test]

@@ -826,7 +826,10 @@ mod tests {
 
     #[test]
     fn sharded_runs_stay_clean_for_correct_schemes() {
-        for scheme in UpdateScheme::all() {
+        // The extended set pulls in the zoo: `triad_nvm`'s truncated
+        // walk and `phoenix`'s dual-copy commit must stay sanitizer-
+        // clean under cross-shard coordination too.
+        for scheme in UpdateScheme::all_extended() {
             let s = sharded(scheme, 2, 2);
             let r = s.run_generated(15_000);
             assert!(

@@ -610,14 +610,33 @@ impl Simulation {
                 mac: data_mac_done.max(mac_block_ready),
                 root: root_done,
             },
+            // Relaxed tree levels: the data/counter pair retires with
+            // the strict slice, but the MAC and root trail it through
+            // the lazy flush window — one MAC latency per relaxed
+            // level. A crash inside that window strands a fresh
+            // data/counter pair under a stale MAC: the *detected* loss
+            // the crash harness pins for this scheme.
+            UpdateScheme::TriadNvm => {
+                let relaxed = u64::from(self.config.triad_floor().saturating_sub(1));
+                let lag = Cycle::new(self.effective_mac().get() * relaxed);
+                TupleTimes {
+                    data: completion,
+                    counter: completion,
+                    mac: completion + lag,
+                    root: completion + lag,
+                }
+            }
             // 2SP: the whole tuple is released atomically.
-            // (Epoch records are re-stamped at the epoch seal.)
+            // (Epoch records are re-stamped at the epoch seal.
+            // `phoenix` is stricter still: the dual-copy commit is
+            // inside `completion`, so the tuple stays atomic.)
             UpdateScheme::SecureWb
             | UpdateScheme::Sp
             | UpdateScheme::Pipeline
             | UpdateScheme::O3
             | UpdateScheme::Coalescing
-            | UpdateScheme::SpCounterTree => TupleTimes::atomic(completion),
+            | UpdateScheme::SpCounterTree
+            | UpdateScheme::Phoenix => TupleTimes::atomic(completion),
         };
         if let Some(san) = self.sanitizer.as_mut() {
             san.observe_persist(&PersistEvent {
@@ -653,7 +672,12 @@ impl Simulation {
     /// it (an interrupted 2SP tuple leaves no partial state) — while
     /// the `unordered` baseline appends each component separately with
     /// the failpoint between them, leaving genuinely half-written
-    /// tuples on disk.
+    /// tuples on disk. `triad_nvm` sits between the two: its strict
+    /// slice makes the data/counter pair atomic (one `TAG_TRIAD`
+    /// frame), but the MAC and root trail through the relaxed-level
+    /// flush window — one `between-levels` stop per relaxed level — so
+    /// a kill in that window durably strands the pair under a stale
+    /// MAC.
     fn append_durable_tuple(
         &mut self,
         addr: BlockAddr,
@@ -681,6 +705,40 @@ impl Simulation {
             }
             self.fp_hit(Failpoint::MidTuple);
             if let Some(sink) = self.durable.as_mut() {
+                sink.root(id, root_after);
+            }
+        } else if self.config.scheme == UpdateScheme::TriadNvm {
+            // The strict slice: data and counter persist atomically
+            // (a torn TAG_TRIAD frame vanishes on replay, exactly like
+            // an interrupted 2SP tuple).
+            let torn = self
+                .failpoints
+                .as_ref()
+                .is_some_and(|fp| fp.would_fire(Failpoint::MidTuple));
+            if let Some(sink) = self.durable.as_mut() {
+                let frame = crate::crash::TriadFrame {
+                    id,
+                    addr,
+                    page,
+                    cipher: ciphertext,
+                    counters: counters_after,
+                };
+                if torn {
+                    sink.triad_torn(&frame);
+                } else {
+                    sink.triad(&frame);
+                }
+            }
+            self.fp_hit(Failpoint::MidTuple);
+            // The lazy flush window above the persisted floor: one
+            // between-levels stop per relaxed level. A kill landing
+            // here leaves the new pair durable while the MAC and root
+            // are not — the detected loss the harness pins.
+            for _ in 1..self.config.triad_floor() {
+                self.fp_hit(Failpoint::BetweenLevels);
+            }
+            if let Some(sink) = self.durable.as_mut() {
+                sink.mac_tag(id, addr, mac);
                 sink.root(id, root_after);
             }
         } else {

@@ -81,11 +81,13 @@ fn expectation_for(
     ObserverExpectation { plaintexts }
 }
 
-const SCHEMES: [UpdateScheme; 4] = [
+const SCHEMES: [UpdateScheme; 6] = [
     UpdateScheme::Sp,
     UpdateScheme::Coalescing,
     UpdateScheme::O3,
     UpdateScheme::Unordered,
+    UpdateScheme::TriadNvm,
+    UpdateScheme::Phoenix,
 ];
 
 proptest! {

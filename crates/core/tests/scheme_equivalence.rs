@@ -17,12 +17,16 @@ use proptest::prelude::*;
 
 /// The crash-consistent schemes: every persist is ordered, so the
 /// architectural tree must reach the same final value on all of them.
-const CORRECT: [UpdateScheme; 5] = [
+/// `phoenix` is strict per-store persistency with a dual-copy root
+/// commit, so it belongs here; `triad_nvm` relaxes the upper tree and
+/// is covered by its own convergence test below.
+const CORRECT: [UpdateScheme; 6] = [
     UpdateScheme::Sp,
     UpdateScheme::Pipeline,
     UpdateScheme::O3,
     UpdateScheme::Coalescing,
     UpdateScheme::SpCounterTree,
+    UpdateScheme::Phoenix,
 ];
 
 /// A trace that stores each page's first block exactly once, with a
@@ -125,7 +129,10 @@ fn correct_schemes_share_root_and_tuples_on_a_clustered_burst() {
         .filter(|(s, _)| {
             matches!(
                 s,
-                UpdateScheme::Sp | UpdateScheme::Pipeline | UpdateScheme::SpCounterTree
+                UpdateScheme::Sp
+                    | UpdateScheme::Pipeline
+                    | UpdateScheme::SpCounterTree
+                    | UpdateScheme::Phoenix
             )
         })
         .map(|(_, r)| r)
@@ -202,6 +209,46 @@ fn unordered_strawman_still_converges_architecturally() {
         tuple_seq(&un.report.records),
         tuple_seq(&sp.report.records)
     );
+}
+
+#[test]
+fn triad_nvm_converges_architecturally_with_truncated_tree_work() {
+    // `triad_nvm` persists only the deepest levels strictly, but it is
+    // still a per-store scheduler over the same architectural state
+    // machine: root, persist count and tuple sequence must match sp's,
+    // while its serialized walk — truncated at the persisted floor —
+    // must do strictly less BMT work than sp's full walk.
+    let pages: Vec<u64> = (0..64u64).map(|i| (i % 8) * 32 + i / 8).collect();
+    let trace = distinct_page_trace(&pages);
+    let sp = run_scheme(UpdateScheme::Sp, &trace);
+    let triad = run_scheme(UpdateScheme::TriadNvm, &trace);
+
+    assert_eq!(triad.root, sp.root, "triad_nvm architectural root diverged");
+    assert_eq!(triad.report.persists, sp.report.persists);
+    assert_eq!(
+        tuple_seq(&triad.report.records),
+        tuple_seq(&sp.report.records),
+        "triad_nvm must persist identical tuples in program order"
+    );
+    assert!(
+        triad.report.sanitizer.is_clean(),
+        "triad_nvm sanitizer verdict not clean: {:?}",
+        triad.report.sanitizer.violations
+    );
+    let (n_sp, n_triad) = (
+        sp.report.engine.node_updates,
+        triad.report.engine.node_updates,
+    );
+    assert!(
+        n_triad < n_sp,
+        "the truncated walk must save tree work: triad {n_triad} vs sp {n_sp}"
+    );
+    // The truncation ratio is exact: both walks are per-persist and
+    // serialized, so the update counts are persists * walked levels.
+    let cfg = SystemConfig::for_scheme(UpdateScheme::TriadNvm);
+    let walked = u64::from(cfg.bmt.levels() - cfg.triad_floor() + 1);
+    assert_eq!(n_triad, triad.report.persists * walked);
+    assert_eq!(n_sp, sp.report.persists * u64::from(cfg.bmt.levels()));
 }
 
 #[test]

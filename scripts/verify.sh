@@ -100,7 +100,9 @@ cmp "$shard_out" "$shard_chaos_out" || {
 rm -rf "$unit_out" "$clean_ref" "$shard_out" "$shard_chaos_out" "$shard_dir"
 
 # Crash-harness gate: a reduced real-process SIGKILL sweep (two
-# failpoints, one hit, all five swept schemes). Children are forked,
+# failpoints, one hit, all seven swept schemes — the five correct
+# ones plus the unordered strawman and the detect-only triad_nvm).
+# Children are forked,
 # killed mid-persist, and their file-backed device images replayed;
 # the binary exits non-zero unless every correct engine recovers
 # Clean/Repaired with model-matching counters and the unordered
@@ -163,5 +165,25 @@ rm -f "$id_img"
   --check results/BENCH_hotpath_baseline.json || {
   echo "verify: hotpath perf gate failed"; exit 1
 }
+
+# Recovery-axis gate: the runtime-vs-recovery Pareto sweep crashes
+# every scheme at enumerated cut points across three tree heights and
+# times full-device recovery. The simulation is fully deterministic,
+# so the rendered table must be byte-identical to the committed
+# results/recovery_pareto.txt and the flat JSON envelope must match
+# results/BENCH_recovery_baseline.json exactly (recovery cycles) /
+# within float-print tolerance (runtime overhead). The binary itself
+# exits non-zero if any correct scheme's recovery at any cut yields
+# undetected corruption or a stale rollback. See DESIGN.md §15.
+rec_tbl=$(mktemp)
+rec_json=$(mktemp)
+./target/release/recovery_sweep 20000 7 --table "$rec_tbl" --out "$rec_json" \
+  --check results/BENCH_recovery_baseline.json || {
+  echo "verify: recovery sweep failed its envelope check"; exit 1
+}
+cmp "$rec_tbl" results/recovery_pareto.txt || {
+  echo "verify: recovery Pareto table diverged from the committed artefact"; exit 1
+}
+rm -f "$rec_tbl" "$rec_json"
 
 echo "verify: OK"

@@ -39,6 +39,17 @@ fn every_benchmark_every_scheme() {
                         "{label}: node-update accounting broken"
                     );
                 }
+                UpdateScheme::TriadNvm => {
+                    // The walk truncates at the persisted floor: only
+                    // the deepest levels are updated strictly.
+                    let cfg = SystemConfig::for_scheme(scheme);
+                    let walked = u64::from(cfg.bmt.levels() - cfg.triad_floor() + 1);
+                    assert_eq!(
+                        r.engine.node_updates,
+                        security_ops * walked,
+                        "{label}: every persist must walk exactly the strict suffix"
+                    );
+                }
                 _ => {
                     assert_eq!(
                         r.engine.node_updates,
